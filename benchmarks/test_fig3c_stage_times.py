@@ -1,0 +1,45 @@
+"""Figure 3(c): execution-time distribution across pipeline stages.
+
+Paper shape: Read examples is ~flat and dominates A and B; Pull/push
+catches up at C and dominates D and E; Train DNN grows with dense size.
+"""
+
+from repro.bench.harness import run_fig3c_stage_times
+from repro.bench.report import ascii_bars, format_table
+
+
+def test_fig3c_stage_times(benchmark):
+    rows = benchmark.pedantic(run_fig3c_stage_times, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["model", "read examples (s)", "pull/push (s)", "train DNN (s)"],
+            [
+                (r["model"], r["read_examples"], r["pull_push"], r["train_dnn"])
+                for r in rows
+            ],
+            title="Fig 3(c): execution time distribution (per 4M-example batch)",
+        )
+    )
+    by = {r["model"]: r for r in rows}
+    # Read stage flat across models.
+    reads = [r["read_examples"] for r in rows]
+    assert max(reads) / min(reads) < 1.05
+    # A, B read-bound.
+    for m in "AB":
+        assert by[m]["read_examples"] > by[m]["pull_push"]
+        assert by[m]["read_examples"] > by[m]["train_dnn"]
+    # Crossover at C.
+    assert 0.7 < by["C"]["pull_push"] / by["C"]["read_examples"] < 1.7
+    # D, E pull/push-bound.
+    for m in "DE":
+        assert by[m]["pull_push"] > by[m]["read_examples"]
+        assert by[m]["pull_push"] > by[m]["train_dnn"]
+    print(
+        "\n"
+        + ascii_bars(
+            [r["model"] for r in rows],
+            [r["pull_push"] for r in rows],
+            title="pull/push seconds by model",
+        )
+    )

@@ -1,0 +1,32 @@
+"""Figure 4(a): HBM-PS time distribution (pull / training / push).
+
+Paper shape: pull/push HBM time follows #non-zeros per example (A,B=100
+vs C,D,E=500); training time follows the dense tower size (E largest).
+"""
+
+from repro.bench.harness import run_fig4a_hbm_times
+from repro.bench.report import format_table
+
+
+def test_fig4a_hbm_times(benchmark):
+    rows = benchmark.pedantic(run_fig4a_hbm_times, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["model", "pull-HBM-PS (s)", "training (s)", "push-HBM-PS (s)"],
+            [
+                (r["model"], r["pull_hbm_ps"], r["training"], r["push_hbm_ps"])
+                for r in rows
+            ],
+            title="Fig 4(a): time distribution in HBM-PS (per batch)",
+        )
+    )
+    by = {r["model"]: r for r in rows}
+    # Pull/push follow non-zeros: the 500-nnz models cost >2x the 100-nnz.
+    for big in "CDE":
+        for small in "AB":
+            assert by[big]["pull_hbm_ps"] > 2 * by[small]["pull_hbm_ps"]
+            assert by[big]["push_hbm_ps"] > 2 * by[small]["push_hbm_ps"]
+    # Training cost ordering tracks dense parameter count: E > D > C, B min.
+    assert by["E"]["training"] > by["D"]["training"] > by["C"]["training"]
+    assert by["B"]["training"] == min(r["training"] for r in rows)

@@ -1,0 +1,35 @@
+"""Figure 4(b): MEM-PS local vs remote pull time over 1/2/4 nodes.
+
+Paper shape: remote pulling is N/A at 1 node; local and remote run in
+parallel; the overall MEM-PS pull time stays roughly flat as nodes are
+added (less local SSD work per node, more remote serving).
+"""
+
+from repro.bench.harness import run_fig4b_mem_times
+from repro.bench.report import format_table
+
+
+def test_fig4b_mem_times(benchmark):
+    rows = benchmark.pedantic(run_fig4b_mem_times, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["#nodes", "pull-local (s)", "pull-remote (s)"],
+            [(r["n_nodes"], r["pull_local"], r["pull_remote"]) for r in rows],
+            title="Fig 4(b): time distribution in MEM-PS (model E)",
+        )
+    )
+    by = {r["n_nodes"]: r for r in rows}
+    # Remote pulling not applicable at 1 node.
+    import math
+
+    assert math.isnan(by[1]["pull_remote"])
+    # Remote pulls exist with >= 2 nodes.
+    assert by[2]["pull_remote"] > 0 and by[4]["pull_remote"] > 0
+    # Overall time (max of parallel local/remote) ~flat across node counts.
+    def overall(r):
+        remote = 0.0 if math.isnan(r["pull_remote"]) else r["pull_remote"]
+        return max(r["pull_local"], remote)
+
+    times = [overall(r) for r in rows]
+    assert max(times) / min(times) < 1.6

@@ -1,0 +1,37 @@
+"""Figure 4(c): MEM-PS cache hit rate per batch (functional, end-to-end).
+
+Paper shape: cold start near zero, steep climb over the first ~10 batches,
+stable plateau (paper: ~46% by batch 40 for model E).
+"""
+
+import numpy as np
+
+from repro.bench.harness import run_fig4c_cache_hit
+from repro.bench.report import format_series
+
+
+def test_fig4c_cache_hit(benchmark):
+    rows = benchmark.pedantic(
+        run_fig4c_cache_hit, kwargs={"n_batches": 50}, rounds=1, iterations=1
+    )
+    hits = [r["hit_rate"] for r in rows]
+    print(
+        "\n"
+        + format_series(
+            [r["batch"] for r in rows][::5],
+            hits[::5],
+            x_name="#batch",
+            y_name="hit rate",
+            title="Fig 4(c): cache hit rate (every 5th batch shown)",
+        )
+    )
+    # Cold start.
+    assert hits[0] < 0.05
+    # Steep warm-up within the first ~10 batches.
+    assert hits[9] > 0.25
+    # Plateau: stable from batch 40 on — low variance, no trend.
+    tail = np.array(hits[35:])
+    assert tail.std() < 0.06
+    assert 0.25 < tail.mean() < 0.65
+    # The plateau is a genuine equilibrium: last 10 ~= previous 10.
+    assert abs(np.mean(hits[-10:]) - np.mean(hits[-20:-10])) < 0.05

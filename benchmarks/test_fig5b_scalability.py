@@ -1,0 +1,29 @@
+"""Figure 5(b): throughput scalability over 1-4 nodes (model E).
+
+Paper shape: near-linear but sub-linear speedup — 3.57 out of the ideal 4
+at 4 nodes (extra inter-node communication).
+"""
+
+from repro.bench.harness import run_fig5b_scalability
+from repro.bench.report import format_table
+
+
+def test_fig5b_scalability(benchmark):
+    rows = benchmark.pedantic(run_fig5b_scalability, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["#nodes", "real ex/s", "ideal ex/s", "speedup"],
+            [(r["n_nodes"], r["real"], r["ideal"], r["speedup"]) for r in rows],
+            title="Fig 5(b): speedup on model E (paper: 3.57 of 4)",
+        )
+    )
+    by = {r["n_nodes"]: r for r in rows}
+    # Monotone scaling.
+    speeds = [r["speedup"] for r in rows]
+    assert all(a < b for a, b in zip(speeds, speeds[1:]))
+    # Sub-linear at every multi-node point.
+    for n in (2, 3, 4):
+        assert by[n]["speedup"] < n
+    # 4-node speedup in the paper's band (3.57/4 = 89% efficiency).
+    assert 3.0 < by[4]["speedup"] < 4.0

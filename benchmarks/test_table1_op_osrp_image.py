@@ -1,0 +1,49 @@
+"""Table 1: OP+OSRP on the (synthetic) image-search ads dataset.
+
+Paper shape: the DNN beats LR; Hash+DNN AUC decreases monotonically as k
+shrinks; model size (distinct weights) shrinks by orders of magnitude.
+"""
+
+from repro.bench.harness import run_op_osrp_study
+from repro.bench.report import format_table
+
+
+def test_table1_op_osrp_image(benchmark):
+    rows = benchmark.pedantic(
+        run_op_osrp_study,
+        kwargs=dict(
+            n_features=2**16,
+            n_slots=8,
+            nonzeros=32,
+            n_train_batches=25,
+            batch_size=1024,
+            eval_size=8192,
+            k_values=(2**14, 2**12, 2**10, 2**8),
+            epochs=3,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        "\n"
+        + format_table(
+            ["method", "#weights", "test AUC"],
+            [(r["method"], r["n_weights"], r["auc"]) for r in rows],
+            title="Table 1: OP+OSRP for image-search sponsored ads (synthetic)",
+        )
+    )
+    by = {r["method"]: r for r in rows}
+    auc_lr = by["Baseline LR"]["auc"]
+    auc_dnn = by["Baseline DNN"]["auc"]
+    # DNN substantially improves over LR (the case for DNN CTR models).
+    assert auc_dnn > auc_lr
+    # Hashing reduces accuracy at every k, monotonically.
+    hash_rows = [r for r in rows if r["k"] is not None]
+    hash_rows.sort(key=lambda r: -r["k"])
+    aucs = [r["auc"] for r in hash_rows]
+    assert all(a >= b for a, b in zip(aucs, aucs[1:]))
+    assert all(a < auc_dnn for a in aucs)
+    # Model size shrinks with k.
+    weights = [r["n_weights"] for r in hash_rows]
+    assert all(a > b for a, b in zip(weights, weights[1:]))

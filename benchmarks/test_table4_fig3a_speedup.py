@@ -1,0 +1,65 @@
+"""Table 4 + Figure 3(a): HPS-4 vs MPI-cluster speedup per model.
+
+Paper values — speedup: A=1.8 B=2.7 C=4.8 D=2.2 E=2.6;
+cost-normalized: A=4.4 B=5.4 C=9.0 D=8.4 E=8.3.
+Shape asserted: HPS wins everywhere, C peaks, cost-normalized 4–11×.
+"""
+
+from repro.bench.harness import run_fig3a_throughput, run_table4_speedups
+from repro.bench.report import format_table
+
+PAPER_SPEEDUP = {"A": 1.8, "B": 2.7, "C": 4.8, "D": 2.2, "E": 2.6}
+PAPER_COST_NORM = {"A": 4.4, "B": 5.4, "C": 9.0, "D": 8.4, "E": 8.3}
+
+
+def test_table4_speedups(benchmark):
+    rows = benchmark.pedantic(run_table4_speedups, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["model", "MPI nodes", "speedup", "paper", "cost-norm", "paper"],
+            [
+                (
+                    r["model"],
+                    r["mpi_nodes"],
+                    r["speedup"],
+                    PAPER_SPEEDUP[r["model"]],
+                    r["cost_normalized_speedup"],
+                    PAPER_COST_NORM[r["model"]],
+                )
+                for r in rows
+            ],
+            title="Table 4: training speedup over the MPI-cluster solution",
+        )
+    )
+    by_model = {r["model"]: r for r in rows}
+    # HPS-4 beats the MPI cluster on every model.
+    assert all(r["speedup"] > 1.3 for r in rows)
+    # The paper's range is 1.8-4.8x; ours must land in the same band.
+    assert all(1.3 < r["speedup"] < 6.5 for r in rows)
+    # Model C (fewest MPI nodes for its size) shows the largest speedup.
+    assert by_model["C"]["speedup"] == max(r["speedup"] for r in rows)
+    # Cost-normalized: paper reports 4.4-9.0x.
+    assert all(3.5 < r["cost_normalized_speedup"] < 12.0 for r in rows)
+    # Cost-normalization amplifies every model (MPI clusters cost more).
+    assert all(r["cost_normalized_speedup"] > r["speedup"] for r in rows)
+
+
+def test_fig3a_throughput(benchmark):
+    rows = benchmark.pedantic(run_fig3a_throughput, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["model", "size (GB)", "MPI-cluster ex/s", "HPS-4 ex/s"],
+            [
+                (r["model"], r["size_gb"], r["mpi_cluster"], r["hps_4"])
+                for r in rows
+            ],
+            title="Fig 3(a): #examples trained/sec",
+        )
+    )
+    # HPS throughput in the paper's ballpark (bars reach ~2e5 ex/s).
+    assert all(5e4 < r["hps_4"] < 5e5 for r in rows)
+    # Throughput falls for the SSD-bound big models (D, E < A, B).
+    by = {r["model"]: r["hps_4"] for r in rows}
+    assert by["D"] < by["A"] and by["E"] < by["A"]

@@ -1,0 +1,97 @@
+"""Capacity planning at paper scale: would a hierarchical GPU PS pay off?
+
+Uses the analytical timing models to price the paper's five production
+models (Table 3: 300 GB – 10 TB) on a 4-node GPU deployment vs the
+75–150-node MPI cluster, reproducing Table 4 and Figures 3(a)/3(c) —
+the workflow an infrastructure team would run before buying hardware.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.bench.analytical import AnalyticalHPS
+from repro.bench.harness import run_fig3c_stage_times, run_table4_speedups
+from repro.bench.report import ascii_bars, format_table
+from repro.config import PAPER_MODELS
+
+
+def main() -> None:
+    print("=== Stage decomposition per 4M-example batch (Fig 3c) ===\n")
+    rows = run_fig3c_stage_times()
+    print(
+        format_table(
+            ["model", "read (s)", "pull/push (s)", "train (s)", "bottleneck"],
+            [
+                (
+                    r["model"],
+                    r["read_examples"],
+                    r["pull_push"],
+                    r["train_dnn"],
+                    max(
+                        ("read", r["read_examples"]),
+                        ("pull/push", r["pull_push"]),
+                        ("train", r["train_dnn"]),
+                        key=lambda t: t[1],
+                    )[0],
+                )
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nSmall models are HDFS-bound; from model C on, the MEM/SSD "
+        "pull-push path dominates — exactly the paper's crossover.\n"
+    )
+
+    print("=== Speedup & price-performance vs the MPI cluster (Table 4) ===\n")
+    rows = run_table4_speedups()
+    print(
+        format_table(
+            ["model", "MPI nodes", "HPS-4 ex/s", "MPI ex/s", "speedup", "cost-norm"],
+            [
+                (
+                    r["model"],
+                    r["mpi_nodes"],
+                    r["hps_throughput"],
+                    r["mpi_throughput"],
+                    r["speedup"],
+                    r["cost_normalized_speedup"],
+                )
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\n(cost-norm = speedup / 4 GPU nodes / 10, scaled by the MPI node "
+        "count: 1 GPU node ~ 10 CPU nodes in hardware+maintenance cost)\n"
+    )
+
+    print("=== What if we only get 2 nodes? Scaling model E ===\n")
+    throughputs = [
+        AnalyticalHPS(PAPER_MODELS["E"], n_nodes=n).throughput()
+        for n in (1, 2, 3, 4)
+    ]
+    print(
+        ascii_bars(
+            [f"{n} node(s)" for n in (1, 2, 3, 4)],
+            throughputs,
+            title="model E throughput (examples/s)",
+        )
+    )
+    print(
+        f"\n4-node speedup over 1 node: {throughputs[3] / throughputs[0]:.2f} "
+        "(paper: 3.57 of the ideal 4)"
+    )
+
+    print("\n=== Cache-memory sensitivity (model E) ===\n")
+    for frac in (0.1, 0.3, 0.6):
+        model = AnalyticalHPS(PAPER_MODELS["E"])
+        model.cache_memory_fraction = frac
+        print(
+            f"  cache = {frac:.0%} of node RAM -> hit rate "
+            f"{model.cache_hit_rate():.2f}, throughput "
+            f"{model.throughput():,.0f} ex/s"
+        )
+
+
+if __name__ == "__main__":
+    main()

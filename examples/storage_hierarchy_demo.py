@@ -1,0 +1,74 @@
+"""Inside the storage hierarchy: watch the cache warm up and the SSD-PS
+compact itself.
+
+Runs a single-node deployment whose MEM-PS cache is much smaller than the
+key space, so parameters continuously spill to the SSD file store.  Shows
+the Fig 4(c) cache warm-up curve and the Fig 5(a) compaction onset live,
+with per-batch storage accounting.
+
+Run:  python examples/storage_hierarchy_demo.py
+"""
+
+from repro.bench.harness import functional_model, small_cluster_config
+from repro.bench.report import format_series
+from repro.core.cluster import HPSCluster
+
+
+def main() -> None:
+    spec = functional_model()
+    config = small_cluster_config(
+        n_nodes=1,
+        gpus_per_node=2,
+        mem_capacity_params=2_600,
+        cache_lru_fraction=0.6,
+        compaction_threshold=1.4,
+        seed=0,
+    )
+    cluster = HPSCluster(spec, config, functional_batch_size=512)
+    node = cluster.nodes[0]
+
+    print(
+        f"Key space: {spec.n_sparse:,} | cache: "
+        f"{config.mem_capacity_params:,} params | compaction threshold: "
+        f"{config.compaction_threshold}x live size\n"
+    )
+
+    hits, ios, onset = [], [], None
+    for i in range(70):
+        stats = cluster.train_round()
+        hits.append(stats.cache_hit_rate)
+        ios.append(stats.ssd_io_seconds * 1e3)
+        if stats.compactions and onset is None:
+            onset = i
+        if i % 10 == 9:
+            store = node.ssd_ps.store
+            ratio = store.total_bytes / max(1, store.live_bytes)
+            print(
+                f"batch {i + 1:>3}: hit={stats.cache_hit_rate:.2f}  "
+                f"ssd_io={stats.ssd_io_seconds * 1e3:6.1f} ms  "
+                f"files={store.n_files:>4}  disk/live={ratio:.2f}"
+                + ("  <- compaction active" if stats.compactions else "")
+            )
+
+    print(
+        "\n"
+        + format_series(
+            list(range(0, 70, 7)),
+            hits[::7],
+            x_name="#batch",
+            y_name="cache hit rate",
+            title="Fig 4(c) shape: cold start -> plateau",
+        )
+    )
+    if onset is not None:
+        print(
+            f"\nCompaction first triggered at batch {onset} "
+            "(paper observes batch ~54 on model E) — SSD I/O time hikes "
+            "and fluctuates from there, the Fig 5(a) shape."
+        )
+    node.ssd_ps.check_invariants()
+    print("SSD-PS invariants hold (mapping <-> stale counters consistent).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,352 @@
+"""The distributed hierarchical parameter server cluster.
+
+:class:`HPSCluster` instantiates ``n_nodes`` :class:`~repro.core.node.HPSNode`
+objects, wires their MEM-PS peers together, and drives the full Algorithm 1
+training workflow in lockstep across nodes:
+
+1.  every node streams its own batch from HDFS (data parallel);
+2.  every node gathers its batch's working parameters from local
+    MEM-PS/SSD-PS and remote MEM-PS;
+3.  working parameters are partitioned across the node's GPUs and inserted
+    into the HBM-PS distributed hash table;
+4.  the batch is sharded into mini-batches; per mini-batch each GPU worker
+    pulls embeddings, runs forward/backward, pushes gradients back
+    (Algorithm 2), and the cluster synchronizes with the hierarchical
+    all-reduce before the next mini-batch — eliminating staleness;
+5.  after the last mini-batch the MEM-PS pulls updated parameters back
+    from the HBM-PS and dumps cache overflow to the SSD-PS.
+
+Every step reports simulated seconds; :class:`BatchStats` aggregates them
+into the exact stage decomposition the paper's Figures 3(c), 4(a) and 4(b)
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ClusterConfig, ModelSpec
+from repro.data.batching import Batch
+from repro.data.generator import CTRDataGenerator
+from repro.hardware.gpu import dense_flops_per_example
+from repro.hardware.specs import NodeHardware
+from repro.hbm.allreduce import (
+    SparseUpdate,
+    allreduce_dense,
+    hierarchical_allreduce,
+)
+from repro.core.node import HPSNode
+from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
+from repro.utils.keys import as_keys
+
+__all__ = ["HPSCluster", "BatchStats"]
+
+
+@dataclass
+class BatchStats:
+    """Timing decomposition of one global training round.
+
+    Stage semantics follow Fig. 3(c): ``read_seconds`` is the HDFS stage,
+    ``pull_push_seconds`` the MEM-PS/SSD-PS stage, ``train_seconds`` the
+    HBM-PS + GPU stage.  All are cluster critical-path values (max over
+    nodes, since nodes run in parallel).
+    """
+
+    round_index: int
+    read_seconds: float
+    pull_local_seconds: float
+    pull_remote_seconds: float
+    pull_push_seconds: float
+    cpu_partition_seconds: float
+    hbm_pull_seconds: float
+    hbm_push_seconds: float
+    gpu_train_seconds: float
+    allreduce_seconds: float
+    train_seconds: float
+    ssd_io_seconds: float
+    cache_hit_rate: float
+    n_working_params: int
+    n_examples: int
+    mean_loss: float
+    compactions: int = 0
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        """Steady-state pipelined batch latency: the slowest stage."""
+        return max(self.read_seconds, self.pull_push_seconds, self.train_seconds)
+
+    @property
+    def stage_times(self) -> tuple[float, float, float]:
+        return (self.read_seconds, self.pull_push_seconds, self.train_seconds)
+
+
+class HPSCluster:
+    """Multi-node distributed hierarchical GPU parameter server."""
+
+    def __init__(
+        self,
+        model_spec: ModelSpec,
+        cluster_config: ClusterConfig,
+        *,
+        sparse_optimizer: SparseOptimizer | None = None,
+        hardware: NodeHardware | None = None,
+        data_seed: int | None = None,
+        functional_batch_size: int = 4096,
+        zipf_exponent: float = 1.05,
+        ssd_directory: str | None = None,
+    ) -> None:
+        self.model_spec = model_spec
+        self.config = cluster_config
+        self.sparse_optimizer = sparse_optimizer or SparseAdagrad(
+            model_spec.embedding_dim, lr=0.05
+        )
+        self.generator = CTRDataGenerator(
+            model_spec,
+            seed=data_seed if data_seed is not None else cluster_config.seed,
+            zipf_exponent=zipf_exponent,
+        )
+        self.nodes = [
+            HPSNode(
+                i,
+                model_spec,
+                cluster_config,
+                self.sparse_optimizer,
+                self.generator,
+                hardware=hardware,
+                dense_optimizer=DenseAdagrad(lr=0.05),
+                ssd_directory=(
+                    f"{ssd_directory}/node{i}" if ssd_directory else None
+                ),
+                functional_batch_size=functional_batch_size,
+            )
+            for i in range(cluster_config.n_nodes)
+        ]
+        peers = [n.mem_ps for n in self.nodes]
+        for node in self.nodes:
+            node.mem_ps.peers = peers
+        self.rounds_completed = 0
+        self.history: list[BatchStats] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def _cpu_partition_time(self, n_keys: int, node: HPSNode) -> float:
+        cpu = node.hardware.cpu
+        # Half the cores shard keys while the other half run the pipeline.
+        rate = cpu.keys_per_second_per_core * max(1, cpu.cores // 2)
+        return node.ledger.add("cpu_partition", n_keys / rate)
+
+    # ------------------------------------------------------------------
+    def train_round(self, round_index: int | None = None) -> BatchStats:
+        """Run one global batch through Algorithm 1 on every node."""
+        r = self.rounds_completed if round_index is None else round_index
+        nodes = self.nodes
+        n_gpus = self.config.gpus_per_node
+        mb_rounds = self.config.minibatches_per_gpu
+
+        cache_stats_before = [
+            (n.mem_ps.cache.stats.hits, n.mem_ps.cache.stats.misses) for n in nodes
+        ]
+        compactions_before = sum(
+            n.ssd_ps.compactor.total_compactions for n in nodes
+        )
+        ssd_before = [
+            n.ledger.total("ssd_read") + n.ledger.total("ssd_write") for n in nodes
+        ]
+
+        # --- stage 1: HDFS read (Alg. 1 line 2) -------------------------
+        timed = [n.hdfs.read(r * self.n_nodes + n.node_id) for n in nodes]
+        read_s = max(t.read_seconds for t in timed)
+
+        # --- stage 2: gather working parameters (lines 3-4) -------------
+        workings = [t.batch.unique_keys() for t in timed]
+        prep_out = [
+            node.mem_ps.prepare(w) for node, w in zip(nodes, workings)
+        ]
+        pull_local_s = max(p.local_seconds for _, p in prep_out)
+        pull_remote_s = max(p.remote_seconds for _, p in prep_out)
+
+        # --- stage 3: partition + insert into HBM (lines 5-10) ----------
+        cpu_s = 0.0
+        load_s = 0.0
+        for node, working, (values, _) in zip(nodes, workings, prep_out):
+            cpu_s = max(cpu_s, self._cpu_partition_time(working.size, node))
+            load_s = max(load_s, node.hbm_ps.load_working_set(working, values))
+
+        shards = [t.batch.shard(n_gpus * mb_rounds) for t in timed]
+
+        # --- stage 4: mini-batch training + sync (lines 11-15) ----------
+        flops_per_ex = dense_flops_per_example(
+            self.model_spec.n_slots,
+            self.model_spec.embedding_dim,
+            self.model_spec.hidden_layers,
+        )
+        hbm_pull_s = hbm_push_s = gpu_s = allreduce_s = 0.0
+        losses: list[float] = []
+        n_examples = 0
+        for m in range(mb_rounds):
+            round_worker_t = 0.0
+            node_dense_grads: list[list[np.ndarray]] = []
+            for node, minibatches in zip(nodes, shards):
+                dense_acc: list[np.ndarray] | None = None
+                worker_t = 0.0
+                for gpu in range(n_gpus):
+                    mb = minibatches[m * n_gpus + gpu]
+                    if mb.n_examples == 0:
+                        continue
+                    mb_keys = mb.unique_keys()
+                    emb, t_pull = node.hbm_ps.pull_embeddings(mb_keys, gpu=gpu)
+                    result = node.model.train_minibatch(mb, mb_keys, emb)
+                    t_gpu = node.gpu_compute.train(flops_per_ex * mb.n_examples)
+                    t_push = node.hbm_ps.push_gradients(
+                        result.sparse_grad.keys,
+                        result.sparse_grad.grads.astype(np.float32),
+                        gpu=gpu,
+                    )
+                    worker_t = max(worker_t, t_pull + t_gpu + t_push)
+                    hbm_pull_s += t_pull
+                    hbm_push_s += t_push
+                    gpu_s += t_gpu
+                    losses.append(result.loss)
+                    n_examples += mb.n_examples
+                    grads = node.model.mlp.gradients()
+                    if dense_acc is None:
+                        dense_acc = [g.astype(np.float64).copy() for g in grads]
+                    else:
+                        for a, g in zip(dense_acc, grads):
+                            a += g
+                if dense_acc is None:
+                    dense_acc = [
+                        np.zeros_like(p, dtype=np.float64)
+                        for p in node.model.mlp.parameters()
+                    ]
+                node_dense_grads.append(dense_acc)
+                round_worker_t = max(round_worker_t, worker_t)
+
+            # Inter-node synchronization (Section 4.2) per mini-batch.
+            node_updates = [node.hbm_ps.drain_gradients() for node in nodes]
+            global_update, t_ar = hierarchical_allreduce(
+                node_updates,
+                networks=[node.network for node in nodes],
+                nvlinks=[node.hbm_ps.nvlink for node in nodes],
+                gpus_per_node=n_gpus,
+            )
+            t_apply = 0.0
+            for node in nodes:
+                missing, t_a = node.hbm_ps.apply_update(global_update)
+                t_apply = max(t_apply, t_a)
+                if missing.size:
+                    idx = np.searchsorted(global_update.keys, missing)
+                    node.mem_ps.apply_gradients(missing, global_update.grads[idx])
+            dense_sum, t_dense = allreduce_dense(
+                node_dense_grads, networks=[node.network for node in nodes]
+            )
+            for node in nodes:
+                node.dense_optimizer.step(
+                    node.model.mlp.parameters(),
+                    [g.astype(np.float32) for g in dense_sum],
+                )
+            allreduce_s += t_ar + t_dense
+            gpu_s_round = round_worker_t
+            # (per-round worker time already folded into totals above)
+
+        # --- stage 5: write back (lines 16-18) ---------------------------
+        absorb_s = 0.0
+        for node in nodes:
+            keys, values = node.hbm_ps.dump()
+            t = node.mem_ps.absorb_updates(keys, values)
+            t += node.mem_ps.end_batch()
+            absorb_s = max(absorb_s, t)
+
+        # --- aggregate ---------------------------------------------------
+        hits = sum(
+            n.mem_ps.cache.stats.hits - b[0]
+            for n, b in zip(nodes, cache_stats_before)
+        )
+        misses = sum(
+            n.mem_ps.cache.stats.misses - b[1]
+            for n, b in zip(nodes, cache_stats_before)
+        )
+        ssd_after = [
+            n.ledger.total("ssd_read") + n.ledger.total("ssd_write") for n in nodes
+        ]
+        stats = BatchStats(
+            round_index=r,
+            read_seconds=read_s,
+            pull_local_seconds=pull_local_s,
+            pull_remote_seconds=pull_remote_s,
+            pull_push_seconds=max(pull_local_s, pull_remote_s) + absorb_s,
+            cpu_partition_seconds=cpu_s + load_s,
+            hbm_pull_seconds=hbm_pull_s / self.n_nodes,
+            hbm_push_seconds=hbm_push_s / self.n_nodes,
+            gpu_train_seconds=gpu_s / self.n_nodes,
+            allreduce_seconds=allreduce_s,
+            train_seconds=(hbm_pull_s + hbm_push_s + gpu_s) / (self.n_nodes * n_gpus)
+            + allreduce_s,
+            ssd_io_seconds=max(a - b for a, b in zip(ssd_after, ssd_before)),
+            cache_hit_rate=hits / max(1, hits + misses),
+            n_working_params=int(sum(w.size for w in workings)),
+            n_examples=n_examples,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            compactions=sum(n.ssd_ps.compactor.total_compactions for n in nodes)
+            - compactions_before,
+        )
+        self.history.append(stats)
+        self.rounds_completed += 1
+        return stats
+
+    def train(self, n_rounds: int) -> list[BatchStats]:
+        """Run ``n_rounds`` global batches; returns their stats."""
+        return [self.train_round() for _ in range(n_rounds)]
+
+    # ------------------------------------------------------------------
+    def lookup_embeddings(self, keys: np.ndarray) -> np.ndarray:
+        """Read-only embedding lookup across owners (for evaluation).
+
+        Unknown keys return the optimizer's deterministic zero-ish init
+        without being persisted, and cache statistics are untouched.
+        """
+        keys = as_keys(keys)
+        opt = self.sparse_optimizer
+        values = np.zeros((keys.size, opt.value_dim), dtype=np.float32)
+        found_any = np.zeros(keys.size, dtype=bool)
+        owner = self.nodes[0].mem_ps.owner_of(keys)
+        for node in self.nodes:
+            idx = np.flatnonzero(owner == node.node_id)
+            if idx.size == 0:
+                continue
+            mem = node.mem_ps
+            for j in idx:
+                k = int(keys[j])
+                v = mem.cache.lru.peek(k)
+                if v is None:
+                    v = mem.cache.lfu._data.get(k)
+                if v is not None:
+                    values[j] = v
+                    found_any[j] = True
+            miss = idx[~found_any[idx]]
+            if miss.size:
+                result = node.ssd_ps.store.read(keys[miss])
+                values[miss[result.found]] = result.values[result.found]
+                found_any[miss[result.found]] = True
+        never_seen = np.flatnonzero(~found_any)
+        if never_seen.size:
+            values[never_seen] = opt.init_for_keys(
+                keys[never_seen], seed=self.config.seed
+            )
+        return opt.embedding(values)
+
+    def predict(self, batch: Batch) -> np.ndarray:
+        """Click probabilities under the current global model."""
+        keys = batch.unique_keys()
+        emb = self.lookup_embeddings(keys)
+        return self.nodes[0].model.predict_proba(batch, keys, emb)
+
+    def evaluate_auc(self, batch: Batch) -> float:
+        from repro.nn.metrics import auc
+
+        return auc(batch.labels, self.predict(batch))

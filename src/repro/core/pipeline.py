@@ -1,0 +1,143 @@
+"""The 4-stage training pipeline (paper Section 3 + Appendix B).
+
+Four time-consuming tasks map to four independent hardware resources:
+
+=========  ==================================  =========
+stage      task                                resource
+=========  ==================================  =========
+network    pull/push remote MEM-PS params      NIC
+cpu        partition/shard parameters          CPU
+ssd        load/dump materialized params       SSD
+gpu        neural-network training             GPU
+=========  ==================================  =========
+
+Each stage has a prefetch queue; a stage's worker stalls when the next
+stage's queue is full.  :class:`PipelineSimulator` computes the resulting
+schedule for a sequence of batches from the per-batch stage durations —
+the steady-state batch latency is the *bottleneck* stage, which is how the
+paper hides I/O behind GPU compute (and why Fig. 3(c)'s tallest bar is the
+whole story).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PipelineSimulator", "PipelineSchedule", "STAGE_NAMES"]
+
+STAGE_NAMES = ("network", "cpu", "ssd", "gpu")
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Computed schedule for one pipeline run.
+
+    ``start[b, s]`` / ``finish[b, s]`` are the times batch ``b`` enters and
+    leaves stage ``s``.
+    """
+
+    start: np.ndarray
+    finish: np.ndarray
+    stage_names: tuple[str, ...] = STAGE_NAMES
+
+    @property
+    def n_batches(self) -> int:
+        return self.start.shape[0]
+
+    @property
+    def makespan(self) -> float:
+        """Total wall time to drain every batch through every stage."""
+        return float(self.finish[-1, -1]) if self.n_batches else 0.0
+
+    @property
+    def steady_state_interval(self) -> float:
+        """Average inter-batch completion interval after pipeline fill."""
+        if self.n_batches < 2:
+            return self.makespan
+        completions = self.finish[:, -1]
+        skip = min(self.n_batches - 2, max(1, self.n_batches // 4))
+        deltas = np.diff(completions[skip:])
+        return float(deltas.mean()) if deltas.size else self.makespan
+
+    def stage_busy_time(self, stage: int) -> float:
+        return float((self.finish[:, stage] - self.start[:, stage]).sum())
+
+    def bottleneck_stage(self) -> int:
+        """Index of the stage with the largest total busy time."""
+        return int(
+            np.argmax([self.stage_busy_time(s) for s in range(len(self.stage_names))])
+        )
+
+
+class PipelineSimulator:
+    """Deterministic schedule computation for an N-stage pipeline.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Prefetch-queue depth between consecutive stages.  Capacity ``q``
+        means stage ``s`` cannot start batch ``b`` before stage ``s+1`` has
+        *started* batch ``b - q`` (its queue would be full otherwise).
+        The paper pre-sets capacities per stage-time ratios; depth 2 is
+        enough to decouple adjacent stages in steady state.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_stages: int = 4,
+        queue_capacity: int | tuple[int, ...] = 2,
+        stage_names: tuple[str, ...] | None = None,
+    ) -> None:
+        if n_stages <= 0:
+            raise ValueError("need at least one stage")
+        if isinstance(queue_capacity, int):
+            caps = (queue_capacity,) * max(0, n_stages - 1)
+        else:
+            caps = tuple(queue_capacity)
+        if len(caps) != n_stages - 1:
+            raise ValueError("need one queue capacity per stage boundary")
+        if any(c < 1 for c in caps):
+            raise ValueError("queue capacities must be >= 1")
+        self.n_stages = n_stages
+        self.queue_capacity = caps
+        self.stage_names = (
+            stage_names
+            if stage_names is not None
+            else (STAGE_NAMES if n_stages == 4 else tuple(f"s{i}" for i in range(n_stages)))
+        )
+        if len(self.stage_names) != n_stages:
+            raise ValueError("stage_names length mismatch")
+
+    def schedule(self, stage_times: np.ndarray) -> PipelineSchedule:
+        """Schedule ``stage_times[b, s]`` (seconds per batch per stage)."""
+        st = np.asarray(stage_times, dtype=np.float64)
+        if st.ndim != 2 or st.shape[1] != self.n_stages:
+            raise ValueError(f"stage_times must be (n_batches, {self.n_stages})")
+        if np.any(st < 0):
+            raise ValueError("stage times cannot be negative")
+        n = st.shape[0]
+        start = np.zeros((n, self.n_stages))
+        finish = np.zeros((n, self.n_stages))
+        for b in range(n):
+            for s in range(self.n_stages):
+                t = 0.0
+                if s > 0:
+                    t = max(t, finish[b, s - 1])  # needs previous stage's output
+                if b > 0:
+                    t = max(t, finish[b - 1, s])  # resource is serial
+                if s < self.n_stages - 1:
+                    q = self.queue_capacity[s]
+                    if b - q >= 0:
+                        # Downstream queue full until batch b-q is consumed.
+                        t = max(t, start[b - q, s + 1])
+                start[b, s] = t
+                finish[b, s] = t + st[b, s]
+        return PipelineSchedule(start, finish, self.stage_names)
+
+    def serial_makespan(self, stage_times: np.ndarray) -> float:
+        """Makespan with no overlap at all (the ablation baseline)."""
+        st = np.asarray(stage_times, dtype=np.float64)
+        return float(st.sum())

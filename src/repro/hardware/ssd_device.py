@@ -1,0 +1,72 @@
+"""SSD block-device cost model.
+
+The SSD-PS reads and writes whole parameter files; the device model converts
+file sizes into simulated seconds.  Sequential transfers run at the array's
+sequential bandwidth; small random reads are charged per-IOP.  Sizes are
+rounded up to the block granularity, which is what makes small files waste
+bandwidth (the I/O-amplification trade-off of Appendix E).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.ledger import CostLedger
+from repro.hardware.specs import SSDSpec
+
+__all__ = ["SSDDevice"]
+
+
+class SSDDevice:
+    """Cost model + usage accounting for one node's NVMe array."""
+
+    def __init__(self, spec: SSDSpec, ledger: CostLedger | None = None):
+        self.spec = spec
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+
+    # ------------------------------------------------------------------
+    def _blocks(self, n_bytes: int) -> int:
+        return max(1, math.ceil(n_bytes / self.spec.block_bytes))
+
+    def read_time(self, n_bytes: int, *, sequential: bool = True) -> float:
+        """Seconds to read ``n_bytes`` (one file)."""
+        if n_bytes < 0:
+            raise ValueError("negative read size")
+        if n_bytes == 0:
+            return 0.0
+        padded = self._blocks(n_bytes) * self.spec.block_bytes
+        if sequential:
+            return padded / self.spec.seq_read_bandwidth
+        return self._blocks(n_bytes) / self.spec.random_iops
+
+    def write_time(self, n_bytes: int, *, sequential: bool = True) -> float:
+        """Seconds to write ``n_bytes`` (one file, append-only)."""
+        if n_bytes < 0:
+            raise ValueError("negative write size")
+        if n_bytes == 0:
+            return 0.0
+        padded = self._blocks(n_bytes) * self.spec.block_bytes
+        if sequential:
+            return padded / self.spec.seq_write_bandwidth
+        return self._blocks(n_bytes) / self.spec.random_iops
+
+    # ------------------------------------------------------------------
+    def read(self, n_bytes: int, *, sequential: bool = True) -> float:
+        """Account a read on the ledger; returns simulated seconds."""
+        t = self.read_time(n_bytes, sequential=sequential)
+        self.bytes_read += n_bytes
+        self.read_ops += 1
+        self.ledger.add("ssd_read", t)
+        return t
+
+    def write(self, n_bytes: int, *, sequential: bool = True) -> float:
+        """Account a write on the ledger; returns simulated seconds."""
+        t = self.write_time(n_bytes, sequential=sequential)
+        self.bytes_written += n_bytes
+        self.write_ops += 1
+        self.ledger.add("ssd_write", t)
+        return t

@@ -1,0 +1,118 @@
+"""OP+OSRP — one permutation + one sign random projection (paper §2).
+
+Baidu's 2015 attempt at hashing CTR models down to a single machine.  For
+binary sparse data of dimensionality ``p``:
+
+1. **Permute** the ``p`` columns once (we use an affine bijection
+   ``x -> (a*x + b) mod p`` with ``gcd(a, p) = 1`` — the "2U/4U hashing"
+   of the paper);
+2. **Break** the permuted columns uniformly into ``k`` bins;
+3. **Project** within each bin: ``z_bin = Σ x_i r_i`` with Rademacher
+   signs ``r_i ∈ {−1,+1}`` derived per original column;
+4. **Expand the sign** of each ``z`` into 2 binary features —
+   ``[0 1]`` if ``z > 0``, ``[1 0]`` if ``z < 0``, ``[0 0]`` if ``z = 0``
+   — so the hashed data stays binary in ``2k`` dimensions and the binary
+   training stack is reused unchanged.
+
+The transform is one vectorized pass over the nonzeros (the paper:
+"essentially by touching each nonzero entry once").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.utils.keys import KEY_DTYPE, as_keys, mix_hash
+from repro.utils.rng import spawn
+
+__all__ = ["OPOSRPHasher"]
+
+
+def _coprime_multiplier(p: int, rng: np.random.Generator) -> int:
+    """Random multiplier coprime to ``p`` (affine permutation slope)."""
+    while True:
+        a = int(rng.integers(1, p))
+        if math.gcd(a, p) == 1:
+            return a
+
+
+@dataclass(frozen=True)
+class _Affine:
+    a: int
+    b: int
+    p: int
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        # Python-object arithmetic would be slow; p < 2^31 in practice so
+        # 64-bit products cannot overflow int128 territory -> use uint64.
+        with np.errstate(over="ignore"):
+            return (
+                (x.astype(np.uint64) * np.uint64(self.a) + np.uint64(self.b))
+                % np.uint64(self.p)
+            )
+
+
+class OPOSRPHasher:
+    """Hashes binary sparse batches from ``p`` to ``2k`` dimensions."""
+
+    def __init__(self, p: int, k: int, *, seed: int = 0) -> None:
+        if p <= 0:
+            raise ValueError("input dimensionality p must be positive")
+        if not 0 < k <= p:
+            raise ValueError("bin count k must be in (0, p]")
+        self.p = p
+        self.k = k
+        self.seed = seed
+        rng = spawn(seed, "op_osrp", p, k)
+        self.perm = _Affine(_coprime_multiplier(p, rng), int(rng.integers(p)), p)
+
+    # ------------------------------------------------------------------
+    @property
+    def out_dim(self) -> int:
+        return 2 * self.k
+
+    def _bins(self, keys: np.ndarray) -> np.ndarray:
+        """Bin index per nonzero column (after the one permutation)."""
+        permuted = self.perm(as_keys(keys))
+        # Uniform split of the permuted [0, p) range into k bins.
+        return (permuted * np.uint64(self.k) // np.uint64(self.p)).astype(np.int64)
+
+    def _signs(self, keys: np.ndarray) -> np.ndarray:
+        """Rademacher sign per original column (one projection)."""
+        h = mix_hash(as_keys(keys), seed=self.seed ^ 0x5351)
+        return np.where((h & np.uint64(1)).astype(bool), 1.0, -1.0)
+
+    # ------------------------------------------------------------------
+    def transform(self, batch: Batch) -> Batch:
+        """Hash a batch; labels are preserved, features become 2k-dim."""
+        bins = self._bins(batch.keys)
+        signs = self._signs(batch.keys)
+        rows = np.repeat(np.arange(batch.n_examples), batch.row_lengths())
+
+        # Accumulate z per (row, bin) without materializing a dense matrix.
+        composite = rows.astype(np.int64) * self.k + bins
+        uniq, inv = np.unique(composite, return_inverse=True)
+        z = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(z, inv, signs)
+
+        nonzero = z != 0.0
+        out_rows = (uniq[nonzero] // self.k).astype(np.int64)
+        out_bins = (uniq[nonzero] % self.k).astype(np.uint64)
+        # Sign expansion: feature 2*bin+1 if z>0 else 2*bin (z=0 dropped).
+        out_keys = (2 * out_bins + (z[nonzero] > 0).astype(np.uint64)).astype(
+            KEY_DTYPE
+        )
+
+        # Rebuild CSR: (row, key) pairs are already grouped by row because
+        # ``composite`` sorts row-major.
+        counts = np.bincount(out_rows, minlength=batch.n_examples)
+        offsets = np.zeros(batch.n_examples + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return Batch(out_keys, offsets, batch.labels)
+
+    def transform_many(self, batches: list[Batch]) -> list[Batch]:
+        return [self.transform(b) for b in batches]

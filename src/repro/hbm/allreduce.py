@@ -1,0 +1,194 @@
+"""Inter-node GPU parameter synchronization (paper §4.2, Appendix C.3).
+
+After every mini-batch, each GPU must receive all parameter updates from
+all other GPUs and reduce them — an all-reduce.  The paper's communication
+schedule (Figure 9) is hierarchical:
+
+1. ``log2(n_nodes)`` **inter-node** recursive-doubling steps: in step *s*,
+   node *i* exchanges its current partial update with node ``i XOR 2^s``,
+   GPU *j* talking to GPU *j* over RDMA; all node pairs run in parallel.
+2. ``log2(gpus_per_node)`` **intra-node** tree steps over NVLink.
+
+Node counts that are not powers of two (the paper's Fig. 4(b)/5(b) sweep
+includes 3) use the standard MPI trick: surplus nodes fold their update
+into a partner before the doubling phase and receive the result after it.
+
+The functional reduction (key-union + gradient sum) and the timing model
+run together: message sizes at each step are the true partial-update sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.gpu import NVLink
+from repro.hardware.network import Network
+from repro.utils.keys import KEY_DTYPE, as_keys
+
+__all__ = ["SparseUpdate", "merge_updates", "hierarchical_allreduce", "allreduce_dense"]
+
+
+@dataclass(frozen=True)
+class SparseUpdate:
+    """Sorted-unique keys with one gradient row per key."""
+
+    keys: np.ndarray
+    grads: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", as_keys(self.keys))
+        g = np.asarray(self.grads, dtype=np.float64)
+        object.__setattr__(self, "grads", g)
+        if self.keys.shape[0] != g.shape[0]:
+            raise ValueError("keys/grads length mismatch")
+        if self.keys.size > 1 and np.any(np.diff(self.keys.astype(np.uint64)) == 0):
+            raise ValueError("keys must be unique")
+        if self.keys.size > 1 and np.any(
+            self.keys[1:] < self.keys[:-1]
+        ):
+            raise ValueError("keys must be sorted")
+
+    @property
+    def n_keys(self) -> int:
+        return int(self.keys.size)
+
+    def nbytes(self) -> int:
+        """Wire size: 8 B key + 4 B float per gradient coordinate."""
+        if self.grads.ndim == 1:
+            per_key = 4
+        else:
+            per_key = 4 * self.grads.shape[1]
+        return self.n_keys * (8 + per_key)
+
+    @staticmethod
+    def empty(dim: int) -> "SparseUpdate":
+        return SparseUpdate(
+            np.empty(0, dtype=KEY_DTYPE), np.zeros((0, dim), dtype=np.float64)
+        )
+
+
+def merge_updates(a: SparseUpdate, b: SparseUpdate) -> SparseUpdate:
+    """Union of keys; gradients of shared keys sum."""
+    if a.n_keys == 0:
+        return b
+    if b.n_keys == 0:
+        return a
+    keys = np.concatenate([a.keys, b.keys])
+    grads = np.concatenate([a.grads, b.grads])
+    uniq, inv = np.unique(keys, return_inverse=True)
+    out = np.zeros((uniq.size,) + a.grads.shape[1:], dtype=np.float64)
+    np.add.at(out, inv, grads)
+    return SparseUpdate(uniq, out)
+
+
+def hierarchical_allreduce(
+    node_updates: list[SparseUpdate],
+    *,
+    networks: list[Network] | None = None,
+    nvlinks: list[NVLink] | None = None,
+    gpus_per_node: int = 8,
+) -> tuple[SparseUpdate, float]:
+    """All-reduce per-node sparse updates; returns (global update, seconds).
+
+    ``networks``/``nvlinks`` are each node's fabric models; when omitted the
+    call is purely functional (zero simulated time).  The returned time is
+    the critical path: max over participating nodes per step, summed over
+    steps.
+    """
+    n = len(node_updates)
+    if n == 0:
+        raise ValueError("need at least one node")
+    partial = list(node_updates)
+    total_time = 0.0
+
+    def _xchg_time(node: int, nbytes: int) -> float:
+        if networks is None:
+            return 0.0
+        # GPU j of one node talks to GPU j of the other: gpus_per_node
+        # parallel flows sharing one NIC -> the NIC moves all bytes but
+        # pays only one latency per parallel lane.
+        return networks[node].transfer_time(nbytes, n_messages=gpus_per_node)
+
+    # --- fold surplus nodes into partners (non-power-of-two case) -------
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    surplus = list(range(p, n))
+    step_t = 0.0
+    for i in surplus:
+        partner = i - p
+        step_t = max(step_t, _xchg_time(i, partial[i].nbytes()))
+        partial[partner] = merge_updates(partial[partner], partial[i])
+    total_time += step_t
+
+    # --- recursive doubling among the first p nodes ---------------------
+    step = 1
+    while step < p:
+        merged = list(partial[:p])
+        step_t = 0.0
+        for i in range(p):
+            j = i ^ step
+            if j < p:
+                step_t = max(step_t, _xchg_time(i, partial[j].nbytes()))
+                merged[i] = merge_updates(partial[i], partial[j])
+        partial[:p] = merged
+        total_time += step_t
+        step *= 2
+
+    result = partial[0]
+    # --- send result back to surplus nodes ------------------------------
+    step_t = 0.0
+    for i in surplus:
+        step_t = max(step_t, _xchg_time(i - p, result.nbytes()))
+    total_time += step_t
+
+    # --- intra-node NVLink tree (Figure 9 step 3) ------------------------
+    if nvlinks is not None and gpus_per_node > 1:
+        rounds = int(np.ceil(np.log2(gpus_per_node)))
+        shard_bytes = result.nbytes() / gpus_per_node
+        t_intra = 0.0
+        for nv in nvlinks:
+            t_node = rounds * nv.transfer_time(int(shard_bytes), n_messages=1)
+            nv.bytes_moved += int(shard_bytes) * rounds
+            nv.ledger.add("allreduce", t_node)
+            t_intra = max(t_intra, t_node)
+        total_time += t_intra
+
+    if networks is not None:
+        for net in networks:
+            net.ledger.add("allreduce", total_time / max(len(networks), 1))
+    return result, total_time
+
+
+def allreduce_dense(
+    node_grads: list[list[np.ndarray]],
+    *,
+    networks: list[Network] | None = None,
+) -> tuple[list[np.ndarray], float]:
+    """Sum dense-parameter gradients across nodes (Appendix C.4).
+
+    Dense towers are replicated on every GPU; their gradients are tiny
+    (≤ a few million floats), so a flat recursive-doubling reduce suffices.
+    """
+    n = len(node_grads)
+    if n == 0:
+        raise ValueError("need at least one node")
+    shapes = [g.shape for g in node_grads[0]]
+    for grads in node_grads[1:]:
+        if [g.shape for g in grads] != shapes:
+            raise ValueError("dense gradient shapes differ across nodes")
+    total = [np.zeros_like(g, dtype=np.float64) for g in node_grads[0]]
+    for grads in node_grads:
+        for t, g in zip(total, grads):
+            t += g
+    nbytes = int(sum(4 * g.size for g in total))
+    steps = int(np.ceil(np.log2(n))) if n > 1 else 0
+    t = 0.0
+    if networks is not None and steps:
+        per_step = max(net.transfer_time(nbytes) for net in networks)
+        t = steps * per_step
+        for net in networks:
+            net.ledger.add("allreduce", t / len(networks))
+    return total, t

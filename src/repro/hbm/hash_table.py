@@ -1,0 +1,220 @@
+"""Fixed-capacity open-addressing hash table (the cuDF analogue).
+
+The paper's HBM-PS uses cuDF's ``concurrent_unordered_map``: capacity fixed
+at construction (dynamic GPU allocation is slow), open addressing with
+linear probing, atomics for parallel updates.  This NumPy port keeps those
+properties — storage is a pair of parallel arrays (keys, values) and every
+operation is *batched*: probing advances all unresolved keys one step per
+round, so the Python-level loop runs O(max probe length) times, not O(n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.keys import EMPTY_KEY, KEY_DTYPE, as_keys, mix_hash
+
+__all__ = ["HashTable"]
+
+
+class HashTable:
+    """Open-addressing key→value map over preallocated NumPy arrays.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident keys.  Insertion beyond capacity raises
+        ``RuntimeError`` (the GPU would OOM); choose capacity from the known
+        working-set size, as Algorithm 1 does.
+    value_dim:
+        Number of float32s per value.
+    load_factor:
+        Slots are over-provisioned by ``1 / load_factor`` to keep probe
+        sequences short.
+    """
+
+    def __init__(
+        self, capacity: int, value_dim: int, *, load_factor: float = 0.6
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if value_dim <= 0:
+            raise ValueError("value_dim must be positive")
+        if not 0.0 < load_factor <= 1.0:
+            raise ValueError("load_factor must be in (0, 1]")
+        self.capacity = capacity
+        self.value_dim = value_dim
+        self.n_slots = max(8, int(np.ceil(capacity / load_factor)))
+        self._keys = np.full(self.n_slots, EMPTY_KEY, dtype=KEY_DTYPE)
+        self._values = np.zeros((self.n_slots, value_dim), dtype=np.float32)
+        self.size = 0
+        # Instrumentation for the timing layer / tests.
+        self.probe_rounds = 0
+
+    # ------------------------------------------------------------------
+    def _base_slots(self, keys: np.ndarray) -> np.ndarray:
+        return (mix_hash(keys) % np.uint64(self.n_slots)).astype(np.int64)
+
+    def _locate(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Slot index of each key and a found mask (vectorized probing).
+
+        A key's probe ends at its match or at the first empty slot (meaning
+        absent).  Returned slots for absent keys are those empty slots.
+        """
+        n = keys.size
+        slots = self._base_slots(keys)
+        result = np.full(n, -1, dtype=np.int64)
+        found = np.zeros(n, dtype=bool)
+        pending = np.arange(n)
+        offset = 0
+        while pending.size:
+            if offset > self.n_slots:
+                raise RuntimeError("probe loop exceeded table size")
+            s = (slots[pending] + offset) % self.n_slots
+            occupant = self._keys[s]
+            hit = occupant == keys[pending]
+            empty = occupant == EMPTY_KEY
+            done = hit | empty
+            result[pending[done]] = s[done]
+            found[pending[hit]] = True
+            pending = pending[~done]
+            offset += 1
+            self.probe_rounds += 1
+        return result, found
+
+    # ------------------------------------------------------------------
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Insert (or overwrite) unique ``keys`` with ``values``.
+
+        Mirrors the HBM-PS batch insert of Algorithm 1 line 9.  ``keys``
+        must be duplicate-free — the working set is a set by construction.
+        """
+        keys = as_keys(keys)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (keys.size, self.value_dim):
+            raise ValueError("values shape mismatch")
+        if keys.size == 0:
+            return
+        if np.unique(keys).size != keys.size:
+            raise ValueError("insert requires unique keys")
+        base = self._base_slots(keys)
+        pending = np.arange(keys.size)
+        offset = np.zeros(keys.size, dtype=np.int64)
+        while pending.size:
+            s = (base[pending] + offset[pending]) % self.n_slots
+            occupant = self._keys[s]
+            hit = occupant == keys[pending]
+            # Overwrites are free to apply immediately.
+            self._values[s[hit]] = values[pending[hit]]
+            empty = occupant == EMPTY_KEY
+            # Several pending keys may race for one empty slot; the first
+            # occurrence wins (the GPU's CAS), the rest re-probe.
+            cand = np.flatnonzero(empty)
+            if cand.size:
+                _, first = np.unique(s[cand], return_index=True)
+                winners = cand[first]
+                if self.size + winners.size > self.capacity:
+                    allowed = self.capacity - self.size
+                    raise RuntimeError(
+                        f"hash table capacity exceeded: {self.size}+"
+                        f"{winners.size} > {self.capacity} (room for {allowed})"
+                    )
+                widx = pending[winners]
+                self._keys[s[winners]] = keys[widx]
+                self._values[s[winners]] = values[widx]
+                self.size += winners.size
+                resolved_mask = np.zeros(pending.size, dtype=bool)
+                resolved_mask[winners] = True
+            else:
+                resolved_mask = np.zeros(pending.size, dtype=bool)
+            resolved_mask |= hit
+            offset[pending[~resolved_mask]] += 1
+            if np.any(offset > self.n_slots):
+                raise RuntimeError("insert probe loop exceeded table size")
+            pending = pending[~resolved_mask]
+            self.probe_rounds += 1
+
+    def get(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values for ``keys`` plus a found mask.
+
+        Missing keys yield zero rows with ``found=False`` — the caller (the
+        pull path) decides whether missing is an error.
+        """
+        keys = as_keys(keys)
+        if keys.size == 0:
+            return (
+                np.zeros((0, self.value_dim), dtype=np.float32),
+                np.zeros(0, dtype=bool),
+            )
+        slots, found = self._locate(keys)
+        out = np.zeros((keys.size, self.value_dim), dtype=np.float32)
+        out[found] = self._values[slots[found]]
+        return out, found
+
+    def accumulate(
+        self, keys: np.ndarray, deltas: np.ndarray, *, upsert: bool = False
+    ) -> None:
+        """``values[k] += delta`` for each key.
+
+        This is the table-level primitive behind Algorithm 2.  ``keys`` may
+        contain duplicates; duplicate deltas sum, as GPU atomics would.
+        Absent keys raise ``KeyError`` unless ``upsert=True``, in which case
+        they are inserted with their summed delta (used by the gradient
+        buffer, whose working set grows as workers push).
+        """
+        keys = as_keys(keys)
+        deltas = np.asarray(deltas, dtype=np.float32)
+        if deltas.shape != (keys.size, self.value_dim):
+            raise ValueError("deltas shape mismatch")
+        if keys.size == 0:
+            return
+        uniq, inv = np.unique(keys, return_inverse=True)
+        summed = np.zeros((uniq.size, self.value_dim), dtype=np.float64)
+        np.add.at(summed, inv, deltas)
+        slots, found = self._locate(uniq)
+        if not np.all(found):
+            if not upsert:
+                missing = uniq[~found][:5]
+                raise KeyError(f"accumulate on absent keys, e.g. {missing.tolist()}")
+            self.insert(uniq[~found], summed[~found].astype(np.float32))
+        self._values[slots[found]] += summed[found].astype(np.float32)
+
+    def transform(self, keys: np.ndarray, fn) -> None:
+        """Apply ``new = fn(old)`` to the values of resident ``keys``.
+
+        Used for optimizer updates, where the new value is not a pure sum.
+        ``keys`` must be unique and resident.
+        """
+        keys = as_keys(keys)
+        if keys.size == 0:
+            return
+        slots, found = self._locate(keys)
+        if not np.all(found):
+            missing = keys[~found][:5]
+            raise KeyError(f"transform on absent keys, e.g. {missing.tolist()}")
+        self._values[slots] = np.asarray(fn(self._values[slots]), dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        _, found = self._locate(as_keys(keys))
+        return found
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All resident (keys, values), sorted by key."""
+        mask = self._keys != EMPTY_KEY
+        keys = self._keys[mask]
+        values = self._values[mask]
+        order = np.argsort(keys)
+        return keys[order], values[order].copy()
+
+    def clear(self) -> None:
+        """Drop everything (the HBM working set is rebuilt every batch)."""
+        self._keys.fill(EMPTY_KEY)
+        self._values.fill(0.0)
+        self.size = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.contains(np.array([key], dtype=KEY_DTYPE))[0])

@@ -1,0 +1,147 @@
+"""HBM-PS — the top layer of the hierarchy (paper Section 4).
+
+One :class:`HBMPS` instance manages a node's GPUs.  It holds two
+distributed hash tables:
+
+* ``params`` — the staged working parameters (value = embedding +
+  optimizer state, as defined by the sparse optimizer's value layout);
+* ``grads`` — a gradient buffer the workers ``accumulate`` into after each
+  backward pass (Algorithm 1 line 14).
+
+Per mini-batch the trainer drains the gradient buffer, all-reduces it
+across nodes, and calls :meth:`apply_update`, which applies the optimizer
+transform to every resident key and reports the keys this node does *not*
+have staged (the MEM-PS owner applies those — Section 5 "Update
+parameters").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.ledger import CostLedger
+from repro.hardware.specs import GPUSpec, NVLinkSpec
+from repro.hbm.allreduce import SparseUpdate
+from repro.hbm.distributed_table import DistributedHashTable
+from repro.nn.optim import SparseOptimizer
+from repro.utils.keys import as_keys
+
+__all__ = ["HBMPS"]
+
+
+class HBMPS:
+    """Node-level High-Bandwidth-Memory parameter server."""
+
+    def __init__(
+        self,
+        n_gpus: int,
+        capacity_per_gpu: int,
+        optimizer: SparseOptimizer,
+        *,
+        gpu_spec: GPUSpec | None = None,
+        nvlink_spec: NVLinkSpec | None = None,
+        ledger: CostLedger | None = None,
+    ) -> None:
+        self.optimizer = optimizer
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.params = DistributedHashTable(
+            n_gpus,
+            capacity_per_gpu,
+            optimizer.value_dim,
+            gpu_spec=gpu_spec,
+            nvlink_spec=nvlink_spec,
+            ledger=self.ledger,
+        )
+        self.grads = DistributedHashTable(
+            n_gpus,
+            capacity_per_gpu,
+            optimizer.dim,
+            gpu_spec=gpu_spec,
+            nvlink_spec=nvlink_spec,
+            ledger=self.ledger,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        return self.params.n_gpus
+
+    @property
+    def nvlink(self):
+        return self.params.nvlink
+
+    def load_working_set(self, keys: np.ndarray, values: np.ndarray) -> float:
+        """Stage the batch's working parameters (Alg. 1 lines 6–10)."""
+        self.params.clear()
+        self.grads.clear()
+        return self.params.insert(keys, values)
+
+    def pull_embeddings(
+        self, keys: np.ndarray, *, gpu: int = 0
+    ) -> tuple[np.ndarray, float]:
+        """Embedding rows for a worker's mini-batch keys (line 12)."""
+        values, t = self.params.get(keys, source_gpu=gpu)
+        return self.optimizer.embedding(values), t
+
+    def push_gradients(
+        self, keys: np.ndarray, grads: np.ndarray, *, gpu: int = 0
+    ) -> float:
+        """Worker pushes its sparse gradient (line 14, Algorithm 2)."""
+        return self.grads.accumulate(keys, grads, source_gpu=gpu, upsert=True)
+
+    def drain_gradients(self) -> SparseUpdate:
+        """Collect and clear the gradient buffer for the all-reduce."""
+        keys, grads = self.grads.items()
+        self.grads.clear()
+        return SparseUpdate(keys, grads.astype(np.float64))
+
+    def apply_update(self, update: SparseUpdate) -> tuple[np.ndarray, float]:
+        """Apply a (post-all-reduce) global update to resident keys.
+
+        Returns ``(missing_keys, seconds)`` — keys in ``update`` that are
+        not staged on this node; the caller forwards those to the MEM-PS
+        owner queue.
+        """
+        if update.n_keys == 0:
+            return as_keys([]), 0.0
+        resident = self.params.contains(update.keys)
+        missing = update.keys[~resident]
+        keys = update.keys[resident]
+        grads = update.grads[resident]
+        if keys.size == 0:
+            return missing, 0.0
+        # The optimizer transform must see (value, grad) pairs; close over
+        # the gradient rows in key order.  ``transform`` visits each GPU's
+        # partition, so re-align gradients per partition via a dict-free
+        # searchsorted lookup (keys are sorted and unique).
+        opt = self.optimizer
+
+        def fn_factory(part_keys: np.ndarray):
+            idx = np.searchsorted(keys, part_keys)
+
+            def fn(values: np.ndarray) -> np.ndarray:
+                return opt.apply(values, grads[idx])
+
+            return fn
+
+        t = 0.0
+        parts = self.params.partitioner.split(keys)
+        for gpu, (k,) in enumerate(parts):
+            if k.size == 0:
+                continue
+            self.params.tables[gpu].transform(k, fn_factory(k))
+            t = max(
+                t,
+                self.params.devices[gpu].table_op(
+                    k.size, 4 * opt.value_dim, "hbm_push"
+                ),
+            )
+        return missing, t
+
+    def dump(self) -> tuple[np.ndarray, np.ndarray]:
+        """All staged (keys, values) — the MEM-PS pull-back (line 16)."""
+        return self.params.items()
+
+    def clear(self) -> None:
+        self.params.clear()
+        self.grads.clear()

@@ -1,0 +1,78 @@
+"""Partition policies: key → GPU and key → node.
+
+The paper uses modulo hashing for both levels (Section 5, Appendix C.1):
+it is constant-memory, balanced for randomly distributed feature ids, and
+cheap.  We hash with splitmix64 before the modulo so that structured key
+spaces (our generator's slot-banded ids) still balance; a plain ``key % n``
+policy is also provided for tests and for the Appendix-A worked example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.keys import as_keys, mix_hash
+
+__all__ = ["ModuloPartitioner", "partition_arrays"]
+
+
+class ModuloPartitioner:
+    """Maps keys to ``n_parts`` buckets by hashed modulo.
+
+    Parameters
+    ----------
+    n_parts:
+        Number of buckets (GPUs on a node, or nodes in the cluster).
+    salt:
+        Distinct salts give independent partitions for the two levels, so
+        a node's shard still spreads evenly over its GPUs.
+    hashed:
+        If False, uses raw ``key % n_parts`` (the paper's round-robin
+        example in Appendix A).
+    """
+
+    def __init__(self, n_parts: int, *, salt: int = 0, hashed: bool = True) -> None:
+        if n_parts <= 0:
+            raise ValueError("n_parts must be positive")
+        self.n_parts = n_parts
+        self.salt = salt
+        self.hashed = hashed
+
+    def part_of(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket index for every key (vectorized)."""
+        keys = as_keys(keys)
+        if self.hashed:
+            h = mix_hash(keys, seed=self.salt)
+        else:
+            h = keys
+        return (h % np.uint64(self.n_parts)).astype(np.int64)
+
+    def split(self, keys: np.ndarray, *arrays: np.ndarray):
+        """Partition ``keys`` (and parallel ``arrays``) into buckets.
+
+        Returns a list of tuples, one per bucket: ``(keys_b, *arrays_b)``.
+        This is the ``parallel_partition`` of Algorithm 2 line 2.
+        """
+        keys = as_keys(keys)
+        parts = self.part_of(keys)
+        order = np.argsort(parts, kind="stable")
+        sorted_parts = parts[order]
+        bounds = np.searchsorted(sorted_parts, np.arange(self.n_parts + 1))
+        out = []
+        for b in range(self.n_parts):
+            sel = order[bounds[b] : bounds[b + 1]]
+            out.append((keys[sel], *(np.asarray(a)[sel] for a in arrays)))
+        return out
+
+    def counts(self, keys: np.ndarray) -> np.ndarray:
+        """Number of keys per bucket."""
+        return np.bincount(self.part_of(keys), minlength=self.n_parts)
+
+
+def partition_arrays(
+    partitioner: ModuloPartitioner, keys: np.ndarray, values: np.ndarray
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Convenience wrapper returning ``[(keys_b, values_b), ...]``."""
+    return [
+        (k, v) for k, v in partitioner.split(keys, values)
+    ]

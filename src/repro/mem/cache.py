@@ -1,0 +1,366 @@
+"""In-memory parameter caches (paper Section 5, Appendix D).
+
+The MEM-PS eviction policy combines LRU and LFU: every visited parameter
+enters an **LRU** cache; LRU evictions fall into an **LFU** cache; LFU
+evictions must be flushed to the SSD before their memory is released.
+Working parameters of in-flight batches are **pinned** in the LRU and
+cannot be evicted until their batch completes (pipeline integrity).
+
+:class:`LRUCache` and :class:`LFUCache` are also usable standalone — the
+cache-policy ablation benchmark compares them against the combined policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.keys import as_keys
+
+__all__ = ["LRUCache", "LFUCache", "CombinedCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (drives the Fig. 4(c) reproduction)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class LRUCache:
+    """Least-recently-used cache with pin support.
+
+    Backed by Python's insertion-ordered dict: a touch re-inserts the key
+    at the back; eviction pops from the front, skipping pinned keys.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: dict[int, np.ndarray] = {}
+        self._pinned: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def get(self, key: int) -> np.ndarray | None:
+        """Value for ``key`` (refreshing its recency), or None."""
+        val = self._data.pop(key, None)
+        if val is None:
+            return None
+        self._data[key] = val
+        return val
+
+    def peek(self, key: int) -> np.ndarray | None:
+        """Value without touching recency."""
+        return self._data.get(key)
+
+    def put(self, key: int, value: np.ndarray, *, pin: bool = False) -> list:
+        """Insert/overwrite ``key``; returns evicted ``(key, value)`` pairs."""
+        self._data.pop(key, None)
+        self._data[key] = value
+        if pin:
+            self._pinned.add(key)
+        return self.evict_overflow()
+
+    def evict_overflow(self) -> list:
+        """Evict unpinned keys (oldest first) until within capacity."""
+        evicted = []
+        if len(self._data) <= self.capacity:
+            return evicted
+        # Scan in recency order; pinned keys are skipped but retained.
+        for key in list(self._data):
+            if len(self._data) - len(evicted) <= self.capacity:
+                break
+            if key in self._pinned:
+                continue
+            evicted.append((key, self._data[key]))
+        for key, _ in evicted:
+            del self._data[key]
+        if len(self._data) > self.capacity:
+            raise RuntimeError(
+                "cache over capacity with all residents pinned — the pinned "
+                "working set must fit in memory (paper Section 5)"
+            )
+        return evicted
+
+    def pin(self, key: int) -> None:
+        if key not in self._data:
+            raise KeyError(f"cannot pin absent key {key}")
+        self._pinned.add(key)
+
+    def unpin(self, key: int) -> None:
+        self._pinned.discard(key)
+
+    def pinned_count(self) -> int:
+        return len(self._pinned)
+
+    def keys(self) -> list[int]:
+        return list(self._data)
+
+
+class LFUCache:
+    """Least-frequently-used cache (O(1) bucket implementation).
+
+    Ties within a frequency bucket break least-recently-used first, the
+    standard LFU-with-aging compromise.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: dict[int, np.ndarray] = {}
+        self._freq: dict[int, int] = {}
+        self._buckets: dict[int, dict[int, None]] = {}
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def _bump(self, key: int) -> None:
+        f = self._freq[key]
+        bucket = self._buckets[f]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[f]
+            if self._min_freq == f:
+                self._min_freq = f + 1
+        self._freq[key] = f + 1
+        self._buckets.setdefault(f + 1, {})[key] = None
+
+    def get(self, key: int) -> np.ndarray | None:
+        if key not in self._data:
+            return None
+        self._bump(key)
+        return self._data[key]
+
+    def frequency(self, key: int) -> int:
+        return self._freq.get(key, 0)
+
+    def put(self, key: int, value: np.ndarray, *, freq: int = 1) -> list:
+        """Insert/overwrite; returns evicted ``(key, value)`` pairs.
+
+        ``freq`` seeds the frequency of a *new* key — the combined cache
+        passes the access count accumulated in the LRU tier, so demoted
+        hot parameters are not treated as cold.
+        """
+        if freq < 1:
+            raise ValueError("freq must be >= 1")
+        if key in self._data:
+            self._data[key] = value
+            self._bump(key)
+            return []
+        evicted = []
+        if len(self._data) >= self.capacity:
+            bucket = self._buckets[self._min_freq]
+            victim = next(iter(bucket))
+            del bucket[victim]
+            if not bucket:
+                del self._buckets[self._min_freq]
+            evicted.append((victim, self._data.pop(victim)))
+            del self._freq[victim]
+        self._data[key] = value
+        self._freq[key] = freq
+        self._buckets.setdefault(freq, {})[key] = None
+        # Bucket count is tiny (distinct frequencies); recomputing the min
+        # keeps the pointer exact across evictions and seeded inserts.
+        self._min_freq = min(self._buckets)
+        return evicted
+
+    def pop(self, key: int) -> np.ndarray | None:
+        """Remove ``key`` (promotion back into the LRU tier)."""
+        if key not in self._data:
+            return None
+        f = self._freq.pop(key)
+        bucket = self._buckets[f]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[f]
+            if self._min_freq == f:
+                self._min_freq = min(self._buckets) if self._buckets else 0
+        return self._data.pop(key)
+
+    def keys(self) -> list[int]:
+        return list(self._data)
+
+
+class CombinedCache:
+    """The paper's two-tier LRU→LFU policy with pinning.
+
+    * On access: LRU hit refreshes recency; LFU hit *promotes* the key back
+      into the LRU tier (recent again); miss reports False.
+    * On insert: key enters the LRU tier.  LRU overflow demotes to LFU;
+      LFU overflow emits flush candidates (must be written to SSD).
+    * Pinned keys live in the LRU tier and are never evicted until
+      unpinned.
+    """
+
+    def __init__(
+        self, capacity: int, *, lru_fraction: float = 0.5, value_dim: int = 1
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("combined cache needs capacity >= 2")
+        if not 0.0 < lru_fraction < 1.0:
+            raise ValueError("lru_fraction must be in (0, 1)")
+        lru_cap = max(1, int(capacity * lru_fraction))
+        lfu_cap = max(1, capacity - lru_cap)
+        self.lru = LRUCache(lru_cap)
+        self.lfu = LFUCache(lfu_cap)
+        self.value_dim = value_dim
+        self.stats = CacheStats()
+        #: access counts of LRU-tier residents, carried into the LFU tier
+        #: on demotion so hot parameters keep their standing.
+        self._counts: dict[int, int] = {}
+        #: flush-outs produced inside :meth:`get` promotions (a getter has
+        #: no return channel for them); owners must drain via
+        #: :meth:`take_pending_flush` and persist to the SSD-PS.
+        self._pending_flush: list = []
+
+    def __len__(self) -> int:
+        return len(self.lru) + len(self.lfu)
+
+    @property
+    def capacity(self) -> int:
+        return self.lru.capacity + self.lfu.capacity
+
+    # ------------------------------------------------------------------
+    def _demote(self, evicted_from_lru: list) -> list:
+        """Push LRU evictions into the LFU; collect LFU flush-outs."""
+        flushed = []
+        for key, value in evicted_from_lru:
+            flushed.extend(
+                self.lfu.put(key, value, freq=self._counts.pop(key, 1))
+            )
+        for key, _ in flushed:
+            self._counts.pop(key, None)
+        return flushed
+
+    def get(self, key: int) -> np.ndarray | None:
+        """Single-key lookup (batch paths should use :meth:`get_batch`)."""
+        val = self.lru.get(key)
+        if val is not None:
+            self.stats.hits += 1
+            self._counts[key] = self._counts.get(key, 1) + 1
+            return val
+        freq = self.lfu.frequency(key)
+        val = self.lfu.pop(key)
+        if val is not None:
+            # Promote back to the recent tier, demoting as needed.  The
+            # demotion can flush LFU entries; park them for the owner to
+            # persist — dropping them would lose trained parameters.
+            self.stats.hits += 1
+            self._counts[key] = freq + 1
+            self._pending_flush.extend(self._demote(self.lru.put(key, val)))
+            return val
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: int, value: np.ndarray, *, pin: bool = False) -> list:
+        """Insert a value; returns ``(key, value)`` pairs to flush to SSD."""
+        if key in self.lfu:
+            freq = self.lfu.frequency(key)
+            self.lfu.pop(key)
+            self._counts[key] = freq + 1
+        else:
+            self._counts[key] = self._counts.get(key, 0) + 1
+        evicted = self.lru.put(key, value, pin=pin)
+        return self._demote(evicted)
+
+    # ------------------------------------------------------------------
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized façade over per-key lookups.
+
+        Returns ``(values, hit_mask)``; missed rows are zero-filled.
+        """
+        keys = as_keys(keys)
+        values = np.zeros((keys.size, self.value_dim), dtype=np.float32)
+        hit = np.zeros(keys.size, dtype=bool)
+        for i, k in enumerate(keys):
+            v = self.get(int(k))
+            if v is not None:
+                values[i] = v
+                hit[i] = True
+        return values, hit
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray, *, pin: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Insert many values; returns (flush_keys, flush_values)."""
+        keys = as_keys(keys)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (keys.size, self.value_dim):
+            raise ValueError("values shape mismatch")
+        flushed = []
+        for i, k in enumerate(keys):
+            flushed.extend(self.put(int(k), values[i], pin=pin))
+        if not flushed:
+            return (
+                as_keys([]),
+                np.zeros((0, self.value_dim), dtype=np.float32),
+            )
+        fk = as_keys([k for k, _ in flushed])
+        fv = np.stack([v for _, v in flushed]).astype(np.float32)
+        return fk, fv
+
+    def take_pending_flush(self) -> tuple[np.ndarray, np.ndarray]:
+        """Drain flush-outs produced by :meth:`get` promotions."""
+        if not self._pending_flush:
+            return (
+                as_keys([]),
+                np.zeros((0, self.value_dim), dtype=np.float32),
+            )
+        fk = as_keys([k for k, _ in self._pending_flush])
+        fv = np.stack([v for _, v in self._pending_flush]).astype(np.float32)
+        self._pending_flush.clear()
+        return fk, fv
+
+    def unpin_batch(self, keys: np.ndarray) -> None:
+        for k in as_keys(keys):
+            self.lru.unpin(int(k))
+
+    def update_if_present(self, key: int, value: np.ndarray) -> bool:
+        """Overwrite a resident value without changing recency/frequency."""
+        if key in self.lru:
+            self.lru._data[key] = value
+            return True
+        if key in self.lfu:
+            self.lfu._data[key] = value
+            return True
+        return False
+
+    def contains(self, key: int) -> bool:
+        return key in self.lru or key in self.lfu
+
+    def flush_all(self) -> tuple[np.ndarray, np.ndarray]:
+        """Drain everything (shutdown / checkpoint path)."""
+        items = [(k, self.lru._data[k]) for k in self.lru.keys()]
+        items += [(k, self.lfu._data[k]) for k in self.lfu.keys()]
+        self.lru = LRUCache(self.lru.capacity)
+        self.lfu = LFUCache(self.lfu.capacity)
+        if not items:
+            return as_keys([]), np.zeros((0, self.value_dim), dtype=np.float32)
+        fk = as_keys([k for k, _ in items])
+        fv = np.stack([v for _, v in items]).astype(np.float32)
+        return fk, fv

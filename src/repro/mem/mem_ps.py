@@ -1,0 +1,281 @@
+"""MEM-PS — the middle layer of the hierarchy (paper Section 5).
+
+Each node's MEM-PS owns a *shard* of the global parameter space (modulo
+hashing on the key, Section 5 "Prepare parameters").  For a training
+batch it:
+
+1. partitions the batch's working keys into the local shard and per-remote
+   shards;
+2. serves local keys from the LRU+LFU cache, falling back to the SSD-PS,
+   initializing never-seen keys from the optimizer's init rule;
+3. pulls remote keys from their owning nodes' MEM-PS over the network;
+4. pins every working parameter in memory until the batch completes;
+5. on batch completion, absorbs updated values back into the cache and
+   dumps cache overflow to the SSD-PS.
+
+All remote traffic is charged to the node's :class:`Network`; all disk
+traffic to the SSD-PS ledger.  The local/remote split is what Figure 4(b)
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.ledger import CostLedger
+from repro.hardware.network import Network
+from repro.hbm.partition import ModuloPartitioner
+from repro.mem.cache import CombinedCache
+from repro.nn.optim import SparseOptimizer
+from repro.ssd.ssd_ps import SSDPS
+from repro.utils.keys import as_keys
+from repro.utils.rng import spawn
+
+__all__ = ["MemPS", "PrepareStats"]
+
+_NODE_SALT = 0x6E6F6465  # "node"
+
+
+@dataclass(frozen=True)
+class PrepareStats:
+    """Timing/traffic decomposition of one prepare() call."""
+
+    n_keys: int
+    n_local: int
+    n_remote: int
+    n_cache_hits: int
+    n_ssd_loaded: int
+    n_fresh: int
+    local_seconds: float
+    remote_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Critical-path time: local and remote pulls run in parallel
+        (paper Fig. 4(b): 'the local and remote pulling operations are
+        paralleled')."""
+        return max(self.local_seconds, self.remote_seconds)
+
+
+class MemPS:
+    """One node's main-memory parameter server."""
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        optimizer: SparseOptimizer,
+        ssd_ps: SSDPS,
+        *,
+        cache_capacity: int = 1_000_000,
+        lru_fraction: float = 0.5,
+        network: Network | None = None,
+        ledger: CostLedger | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= node_id < n_nodes:
+            raise ValueError("node_id out of range")
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.optimizer = optimizer
+        self.ssd_ps = ssd_ps
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.network = network
+        self.partitioner = ModuloPartitioner(n_nodes, salt=_NODE_SALT)
+        self.cache = CombinedCache(
+            cache_capacity,
+            lru_fraction=lru_fraction,
+            value_dim=optimizer.value_dim,
+        )
+        self._rng = spawn(seed, "mem_ps", node_id)
+        #: per-key init seed — identical on every node so a key initializes
+        #: the same regardless of which node first touches it.
+        self._init_seed = seed
+        #: peers[i] is node i's MemPS; wired by the cluster after construction.
+        self.peers: list["MemPS"] = []
+        #: keys pinned on behalf of remote pulls this batch (released by
+        #: :meth:`end_batch`).
+        self._served_keys: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def owner_of(self, keys: np.ndarray) -> np.ndarray:
+        return self.partitioner.part_of(keys)
+
+    def owns(self, keys: np.ndarray) -> np.ndarray:
+        return self.owner_of(keys) == self.node_id
+
+    # ------------------------------------------------------------------
+    def fetch_local(
+        self, keys: np.ndarray, *, pin: bool = True
+    ) -> tuple[np.ndarray, float, int, int, int]:
+        """Serve locally-owned ``keys`` from cache → SSD → fresh-init.
+
+        Returns ``(values, seconds, cache_hits, ssd_loaded, fresh)``.
+        Loaded/initialized values are inserted (and pinned) in the cache;
+        cache overflow is flushed to the SSD-PS immediately.
+        """
+        keys = as_keys(keys)
+        values, hit = self.cache.get_batch(keys)
+        seconds = 0.0
+        # LFU->LRU promotions inside get_batch may flush cold entries;
+        # persist them before anything else can reference them.
+        pf_k, pf_v = self.cache.take_pending_flush()
+        if pf_k.size:
+            seconds += self.ssd_ps.dump(pf_k, pf_v).total_seconds
+        if pin:
+            # Pin hits immediately — inserting the misses below may evict
+            # them otherwise, breaking the in-flight working set.
+            # ``get_batch`` promotes LFU hits into the LRU tier, so every
+            # hit key is in the LRU by now.
+            for k in keys[hit]:
+                self.cache.lru.pin(int(k))
+        n_ssd = 0
+        n_fresh = 0
+        miss_idx = np.flatnonzero(~hit)
+        if miss_idx.size:
+            miss_keys = keys[miss_idx]
+            result, stats = self.ssd_ps.load(miss_keys)
+            seconds += stats.total_seconds
+            vals = result.values
+            fresh_idx = np.flatnonzero(~result.found)
+            n_ssd = int(result.found.sum())
+            n_fresh = fresh_idx.size
+            if fresh_idx.size:
+                vals[fresh_idx] = self.optimizer.init_for_keys(
+                    miss_keys[fresh_idx], seed=self._init_seed
+                )
+            values[miss_idx] = vals
+            flush_k, flush_v = self.cache.put_batch(miss_keys, vals, pin=pin)
+            if flush_k.size:
+                seconds += self.ssd_ps.dump(flush_k, flush_v).total_seconds
+        return values, seconds, int(hit.sum()), n_ssd, n_fresh
+
+    def serve_remote(self, keys: np.ndarray) -> tuple[np.ndarray, float]:
+        """Handle a pull request from a peer (keys are owned here)."""
+        keys = as_keys(keys)
+        if not np.all(self.owns(keys)):
+            raise ValueError("serve_remote called with keys this node does not own")
+        values, seconds, _, _, _ = self.fetch_local(keys, pin=True)
+        self._served_keys.append(keys)
+        return values, seconds
+
+    def prepare(self, working_keys: np.ndarray) -> tuple[np.ndarray, PrepareStats]:
+        """Gather values for a batch's working set (Alg. 1 lines 3–4).
+
+        Returns values aligned with ``working_keys`` plus the stats used by
+        the Fig. 4(b) decomposition.
+        """
+        keys = as_keys(working_keys)
+        if keys.size and np.unique(keys).size != keys.size:
+            raise ValueError("working keys must be unique")
+        values = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
+        owners = self.owner_of(keys)
+
+        local_idx = np.flatnonzero(owners == self.node_id)
+        vals, t_local, n_hits, n_ssd, n_fresh = self.fetch_local(keys[local_idx])
+        values[local_idx] = vals
+
+        t_remote = 0.0
+        n_remote = 0
+        for peer_id in range(self.n_nodes):
+            if peer_id == self.node_id:
+                continue
+            idx = np.flatnonzero(owners == peer_id)
+            if idx.size == 0:
+                continue
+            peer = self.peers[peer_id]
+            vals, t_serve = peer.serve_remote(keys[idx])
+            values[idx] = vals
+            n_remote += idx.size
+            # Request (keys out) + response (keys+values back).
+            nbytes = idx.size * (8 + (8 + 4 * self.optimizer.value_dim))
+            t_net = (
+                self.network.send(nbytes, category="net_remote_pull")
+                if self.network is not None
+                else 0.0
+            )
+            t_remote += t_serve + t_net
+        stats = PrepareStats(
+            n_keys=keys.size,
+            n_local=local_idx.size,
+            n_remote=n_remote,
+            n_cache_hits=n_hits,
+            n_ssd_loaded=n_ssd,
+            n_fresh=n_fresh,
+            local_seconds=t_local,
+            remote_seconds=t_remote,
+        )
+        return values, stats
+
+    # ------------------------------------------------------------------
+    def absorb_updates(
+        self, keys: np.ndarray, values: np.ndarray, *, unpin: bool = True
+    ) -> float:
+        """Write updated values back after a batch (Alg. 1 lines 16–18).
+
+        Only locally-owned keys are kept (remote owners get their updates
+        from their own GPUs — Section 5 "Update parameters").  Cache
+        overflow is dumped to the SSD-PS; returns simulated seconds.
+        """
+        keys = as_keys(keys)
+        own = self.owns(keys)
+        keys_own = keys[own]
+        vals_own = np.asarray(values, dtype=np.float32)[own]
+        seconds = 0.0
+        for i, k in enumerate(keys_own):
+            self.cache.update_if_present(int(k), vals_own[i])
+        if unpin:
+            self.cache.unpin_batch(keys_own)
+            # Unpinning may leave the LRU over capacity; settle it now.
+            overflow = self.cache.lru.evict_overflow()
+            flushed = self.cache._demote(overflow)
+            if flushed:
+                fk = as_keys([k for k, _ in flushed])
+                fv = np.stack([v for _, v in flushed]).astype(np.float32)
+                seconds += self.ssd_ps.dump(fk, fv).total_seconds
+        return seconds
+
+    def apply_gradients(
+        self, keys: np.ndarray, grads: np.ndarray
+    ) -> float:
+        """Owner-side optimizer application for keys *not* staged in the
+        local HBM (the update queue described in the module docstring of
+        :mod:`repro.hbm.hbm_ps`)."""
+        keys = as_keys(keys)
+        own = self.owns(keys)
+        keys = keys[own]
+        grads = np.asarray(grads, dtype=np.float64)[own]
+        if keys.size == 0:
+            return 0.0
+        values, t_fetch, _, _, _ = self.fetch_local(keys, pin=False)
+        new_values = self.optimizer.apply(values, grads)
+        # Re-insert rather than update-if-present: under memory pressure a
+        # key fetched above can already have been evicted again, and its
+        # update must not be lost.
+        flush_k, flush_v = self.cache.put_batch(keys, new_values)
+        if flush_k.size:
+            t_fetch += self.ssd_ps.dump(flush_k, flush_v).total_seconds
+        return t_fetch
+
+    def end_batch(self) -> float:
+        """Release pins taken on behalf of remote pulls and settle overflow."""
+        seconds = 0.0
+        for keys in self._served_keys:
+            self.cache.unpin_batch(keys)
+        self._served_keys.clear()
+        overflow = self.cache.lru.evict_overflow()
+        flushed = self.cache._demote(overflow)
+        if flushed:
+            fk = as_keys([k for k, _ in flushed])
+            fv = np.stack([v for _, v in flushed]).astype(np.float32)
+            seconds += self.ssd_ps.dump(fk, fv).total_seconds
+        return seconds
+
+    def flush_to_ssd(self) -> float:
+        """Drain the entire cache to the SSD-PS (checkpoint/shutdown)."""
+        fk, fv = self.cache.flush_all()
+        if fk.size == 0:
+            return 0.0
+        return self.ssd_ps.dump(fk, fv).total_seconds

@@ -1,0 +1,119 @@
+"""Sparse embedding layer.
+
+Maps each example's sparse feature ids to embedding vectors pulled from the
+parameter server and pools them per slot (sum pooling), producing the dense
+input of the MLP tower (paper Figure 1).  The layer itself is stateless —
+embedding values live in the PS; this module only does the gather/pool
+forward and the scatter/accumulate backward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.utils.keys import as_keys
+
+__all__ = ["EmbeddingLayer", "EmbeddingGradient"]
+
+
+@dataclass(frozen=True)
+class EmbeddingGradient:
+    """Sparse gradient: one row of ``grads`` per key in ``keys``."""
+
+    keys: np.ndarray
+    grads: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.keys.shape[0] != self.grads.shape[0]:
+            raise ValueError("keys/grads length mismatch")
+
+
+class EmbeddingLayer:
+    """Gather–pool forward and scatter–accumulate backward.
+
+    Parameters
+    ----------
+    n_slots:
+        Number of feature slots; pooled slot embeddings are concatenated so
+        the MLP input width is ``n_slots * dim``.
+    dim:
+        Embedding dimension per key.
+    """
+
+    def __init__(self, n_slots: int, dim: int) -> None:
+        if n_slots <= 0 or dim <= 0:
+            raise ValueError("n_slots and dim must be positive")
+        self.n_slots = n_slots
+        self.dim = dim
+        self._cache: tuple | None = None
+
+    @property
+    def out_dim(self) -> int:
+        return self.n_slots * self.dim
+
+    # ------------------------------------------------------------------
+    def _slot_of_positions(self, batch: Batch) -> tuple[np.ndarray, np.ndarray, int]:
+        """Row id and slot id for every flat key position.
+
+        Rows must have a length divisible by ``n_slots`` (the generator's
+        slot-major layout); slot of position ``j`` within a row of length
+        ``L`` is ``j // (L / n_slots)``.
+        """
+        lengths = batch.row_lengths()
+        if np.any(lengths % self.n_slots):
+            raise ValueError(
+                "every example's nonzero count must be divisible by n_slots"
+            )
+        rows = np.repeat(np.arange(batch.n_examples), lengths)
+        pos_in_row = np.arange(batch.n_nonzeros) - np.repeat(
+            batch.offsets[:-1], lengths
+        )
+        ids_per_slot = np.repeat(lengths // self.n_slots, lengths)
+        slots = pos_in_row // np.maximum(ids_per_slot, 1)
+        return rows, slots.astype(np.int64), batch.n_examples
+
+    def forward(
+        self, batch: Batch, unique_keys: np.ndarray, emb_values: np.ndarray
+    ) -> np.ndarray:
+        """Pooled embedding features, shape ``(n_examples, n_slots * dim)``.
+
+        Parameters
+        ----------
+        batch:
+            The examples.
+        unique_keys:
+            **Sorted** unique keys covering every key in ``batch``.
+        emb_values:
+            ``(len(unique_keys), dim)`` embedding table rows.
+        """
+        unique_keys = as_keys(unique_keys)
+        if emb_values.shape != (unique_keys.size, self.dim):
+            raise ValueError("emb_values shape mismatch")
+        flat_idx = np.searchsorted(unique_keys, batch.keys)
+        if flat_idx.size and (
+            flat_idx.max() >= unique_keys.size
+            or np.any(unique_keys[flat_idx] != batch.keys)
+        ):
+            raise KeyError("batch references keys missing from unique_keys")
+        rows, slots, n = self._slot_of_positions(batch)
+        out = np.zeros((n, self.n_slots, self.dim), dtype=np.float64)
+        np.add.at(out, (rows, slots), emb_values[flat_idx])
+        self._cache = (flat_idx, rows, slots, unique_keys.size)
+        return out.reshape(n, self.out_dim)
+
+    def backward(
+        self, grad_features: np.ndarray, unique_keys: np.ndarray
+    ) -> EmbeddingGradient:
+        """Scatter the feature gradient back onto the unique keys."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        flat_idx, rows, slots, n_unique = self._cache
+        if n_unique != unique_keys.shape[0]:
+            raise ValueError("unique_keys changed between forward and backward")
+        g3 = grad_features.reshape(-1, self.n_slots, self.dim)
+        grads = np.zeros((n_unique, self.dim), dtype=np.float64)
+        np.add.at(grads, flat_idx, g3[rows, slots])
+        return EmbeddingGradient(as_keys(unique_keys), grads)

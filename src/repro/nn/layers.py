@@ -1,0 +1,137 @@
+"""Dense layers for the CTR tower.
+
+A deliberately small autograd-free implementation: each layer exposes
+``forward`` and ``backward`` and owns its parameters as NumPy arrays.  The
+dense tower is tiny by construction (paper: at most a few million dense
+parameters vs 10^11 sparse ones), so clarity wins over micro-optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import spawn
+
+__all__ = ["Dense", "ReLU", "Sigmoid", "MLP"]
+
+
+class Dense:
+    """Fully-connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, *, seed: int = 0) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("layer dims must be positive")
+        rng = spawn(seed, "dense", in_dim, out_dim)
+        scale = np.sqrt(2.0 / in_dim)
+        self.W = rng.normal(0.0, scale, size=(in_dim, out_dim)).astype(np.float32)
+        self.b = np.zeros(out_dim, dtype=np.float32)
+        self._x: np.ndarray | None = None
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+
+    @property
+    def n_params(self) -> int:
+        return self.W.size + self.b.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW = self._x.T @ grad_out
+        self.db = grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+
+class ReLU:
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Sigmoid:
+    """Elementwise logistic function (numerically stable)."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._y = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class MLP:
+    """ReLU tower ending in a single logit."""
+
+    def __init__(self, in_dim: int, hidden: tuple[int, ...], *, seed: int = 0):
+        dims = [in_dim, *hidden, 1]
+        self.layers: list = []
+        for i, (a, b) in enumerate(zip(dims[:-1], dims[1:])):
+            self.layers.append(Dense(a, b, seed=seed + i))
+            if i < len(dims) - 2:
+                self.layers.append(ReLU())
+
+    @property
+    def n_params(self) -> int:
+        return sum(l.n_params for l in self.layers if isinstance(l, Dense))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x[:, 0]
+
+    def backward(self, grad_logit: np.ndarray) -> np.ndarray:
+        g = grad_logit[:, None]
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    def dense_layers(self) -> list[Dense]:
+        return [l for l in self.layers if isinstance(l, Dense)]
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for l in self.dense_layers() for p in l.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for l in self.dense_layers() for g in l.gradients()]
+
+    def get_state(self) -> list[np.ndarray]:
+        """Copies of all dense parameters (for sync / checkpoint)."""
+        return [p.copy() for p in self.parameters()]
+
+    def set_state(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError("state length mismatch")
+        for p, s in zip(params, state):
+            if p.shape != s.shape:
+                raise ValueError("state shape mismatch")
+            p[...] = s

@@ -1,0 +1,42 @@
+"""Binary cross-entropy on logits, with the fused stable gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bce_with_logits", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def bce_with_logits(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Loss, per-example probabilities, and d(loss)/d(logit).
+
+    The gradient is the classic fused form ``(p - y) / n``, which avoids the
+    catastrophic cancellation of computing ``log`` and its derivative
+    separately.
+    """
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must have the same shape")
+    n = logits.size
+    if n == 0:
+        raise ValueError("empty loss input")
+    p = sigmoid(logits)
+    # log(1 + exp(-|x|)) form is stable for both signs.
+    loss = float(
+        np.mean(np.maximum(logits, 0) - logits * labels + np.log1p(np.exp(-np.abs(logits))))
+    )
+    grad = (p - labels) / n
+    return loss, p, grad

@@ -1,0 +1,124 @@
+"""File compaction (paper Section 6, Appendix E).
+
+Disk usage grows as every dump creates new files and strands stale rows in
+old ones.  A background thread (here: an explicitly invoked step, so tests
+and the pipeline stay deterministic) checks the usage and, past a
+threshold, merges files that are **more than 50% stale** into fresh files,
+erasing the originals.
+
+The 50% victim rule gives the paper's bound: live data can at most double
+on disk (1 / 0.5 = 2×).  Stale fractions come from the per-file counters —
+no file contents are read to make the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ssd.file_store import FileStore
+
+__all__ = ["Compactor", "CompactionStats"]
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """Outcome of one compaction check."""
+
+    triggered: bool
+    files_merged: int
+    files_created: int
+    bytes_read: int
+    bytes_written: int
+    seconds: float
+
+
+class Compactor:
+    """Usage-threshold-triggered merger of mostly-stale parameter files.
+
+    Parameters
+    ----------
+    store:
+        The file store to compact.
+    usage_threshold:
+        Compaction triggers when ``total_bytes > usage_threshold *
+        live_bytes``.  The paper bounds usage at 2× live, so the default
+        threshold sits below that.
+    stale_fraction:
+        Only files at least this stale are merged (paper: 0.5).
+    """
+
+    def __init__(
+        self,
+        store: FileStore,
+        *,
+        usage_threshold: float = 1.6,
+        stale_fraction: float = 0.5,
+    ) -> None:
+        if usage_threshold < 1.0:
+            raise ValueError("usage_threshold must be >= 1.0")
+        if not 0.0 < stale_fraction <= 1.0:
+            raise ValueError("stale_fraction must be in (0, 1]")
+        self.store = store
+        self.usage_threshold = usage_threshold
+        self.stale_fraction = stale_fraction
+        self.total_compactions = 0
+
+    # ------------------------------------------------------------------
+    def should_compact(self) -> bool:
+        live = self.store.live_bytes
+        if live == 0:
+            return self.store.total_bytes > 0
+        return self.store.total_bytes > self.usage_threshold * live
+
+    def victims(self):
+        """Files eligible for merging, most-stale first."""
+        out = [
+            f
+            for f in self.store.files()
+            if f.stale_fraction() >= self.stale_fraction
+        ]
+        out.sort(key=lambda f: f.stale_fraction(), reverse=True)
+        return out
+
+    def compact(self) -> CompactionStats:
+        """Run one compaction check (no-op when below threshold)."""
+        if not self.should_compact():
+            return CompactionStats(False, 0, 0, 0, 0, 0.0)
+        victims = self.victims()
+        if not victims:
+            return CompactionStats(False, 0, 0, 0, 0, 0.0)
+
+        seconds = 0.0
+        bytes_read = 0
+        live_keys = []
+        live_vals = []
+        for f in victims:
+            # Read the whole victim file, keep its live rows.
+            seconds += self.store.device.read(self.store.file_bytes(f))
+            bytes_read += self.store.file_bytes(f)
+            k, v = self.store.live_rows(f)
+            if k.size:
+                live_keys.append(k)
+                live_vals.append(v)
+
+        files_created = 0
+        bytes_written = 0
+        if live_keys:
+            keys = np.concatenate(live_keys)
+            vals = np.concatenate(live_vals)
+            # A key can be live in at most one victim (the mapping points to
+            # exactly one file), so keys are unique by construction.
+            t_write, new_ids = self.store.write(keys, vals)
+            seconds += t_write
+            files_created = len(new_ids)
+            bytes_written = sum(
+                self.store.file_bytes(self.store._files[fid]) for fid in new_ids
+            )
+        for f in victims:
+            self.store.erase(f.file_id)
+        self.total_compactions += 1
+        return CompactionStats(
+            True, len(victims), files_created, bytes_read, bytes_written, seconds
+        )

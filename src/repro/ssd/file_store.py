@@ -1,0 +1,235 @@
+"""File-level parameter storage (paper Section 6, Appendix E).
+
+Parameters are materialized in immutable *parameter files*; an in-memory
+parameter→file mapping locates them.  Updates never touch old files —
+updated values are chunked into **new** files (sequential writes), the
+mapping is repointed, and superseded rows become *stale*.  A per-file stale
+counter (maintained exactly as the paper describes: bumped when the mapping
+is repointed away) lets the compactor pick merge victims without reading
+file contents.
+
+Two backends: ``memory`` (default — file payloads held as NumPy arrays) and
+``disk`` (payloads written as ``.npy`` files in a directory, for tests that
+want real I/O).  Timing always comes from the :class:`SSDDevice` model.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.ledger import CostLedger
+from repro.hardware.specs import SSDSpec
+from repro.hardware.ssd_device import SSDDevice
+from repro.utils.keys import KEY_DTYPE, as_keys
+
+__all__ = ["FileStore", "ParameterFile", "ReadResult"]
+
+
+@dataclass
+class ParameterFile:
+    """One immutable on-SSD parameter file."""
+
+    file_id: int
+    keys: np.ndarray  # sorted unique keys stored in this file
+    stale_count: int = 0
+    #: memory backend: the payload rows, aligned with ``keys``.
+    values: np.ndarray | None = None
+    #: disk backend: path of the .npy payload.
+    path: str | None = None
+
+    @property
+    def n_params(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def n_live(self) -> int:
+        return self.n_params - self.stale_count
+
+    def stale_fraction(self) -> float:
+        return self.stale_count / self.n_params if self.n_params else 1.0
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a batched read."""
+
+    values: np.ndarray
+    found: np.ndarray
+    seconds: float
+    files_read: int
+    bytes_read: int
+
+
+class FileStore:
+    """Append-only parameter-file store with key→file mapping."""
+
+    def __init__(
+        self,
+        value_dim: int,
+        file_capacity: int,
+        *,
+        ssd_spec: SSDSpec | None = None,
+        directory: str | None = None,
+        ledger: CostLedger | None = None,
+    ) -> None:
+        if value_dim <= 0:
+            raise ValueError("value_dim must be positive")
+        if file_capacity <= 0:
+            raise ValueError("file_capacity must be positive")
+        self.value_dim = value_dim
+        self.file_capacity = file_capacity
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.device = SSDDevice(ssd_spec or SSDSpec(), self.ledger)
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._files: dict[int, ParameterFile] = {}
+        self._mapping: dict[int, int] = {}  # key -> file_id
+        self._next_file_id = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_files(self) -> int:
+        return len(self._files)
+
+    @property
+    def n_live_params(self) -> int:
+        return len(self._mapping)
+
+    def file_bytes(self, f: ParameterFile) -> int:
+        return f.n_params * (8 + 4 * self.value_dim)
+
+    @property
+    def total_bytes(self) -> int:
+        """Disk footprint including stale rows."""
+        return sum(self.file_bytes(f) for f in self._files.values())
+
+    @property
+    def live_bytes(self) -> int:
+        return self.n_live_params * (8 + 4 * self.value_dim)
+
+    def files(self) -> list[ParameterFile]:
+        return list(self._files.values())
+
+    def mapping_of(self, keys: np.ndarray) -> np.ndarray:
+        """File id per key (-1 if unmapped)."""
+        keys = as_keys(keys)
+        return np.fromiter(
+            (self._mapping.get(int(k), -1) for k in keys),
+            dtype=np.int64,
+            count=keys.size,
+        )
+
+    # ------------------------------------------------------------------
+    def _payload(self, f: ParameterFile) -> np.ndarray:
+        if f.values is not None:
+            return f.values
+        assert f.path is not None
+        return np.load(f.path)
+
+    def _store_payload(self, f: ParameterFile, values: np.ndarray) -> None:
+        if self.directory is None:
+            f.values = values
+        else:
+            f.path = os.path.join(self.directory, f"params_{f.file_id:08d}.npy")
+            np.save(f.path, values)
+
+    # ------------------------------------------------------------------
+    def write(self, keys: np.ndarray, values: np.ndarray) -> tuple[float, list[int]]:
+        """Chunk (keys, values) into new files; returns (seconds, file ids).
+
+        Keys must be unique.  Previously mapped keys leave a stale row
+        behind in their old file (with its counter bumped); the mapping is
+        repointed to the new file.  Writes are sequential, as in the paper.
+        """
+        keys = as_keys(keys)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (keys.size, self.value_dim):
+            raise ValueError("values shape mismatch")
+        if keys.size == 0:
+            return 0.0, []
+        uniq = np.unique(keys)
+        if uniq.size != keys.size:
+            raise ValueError("write requires unique keys")
+        order = np.argsort(keys)
+        keys, values = keys[order], values[order]
+
+        total_t = 0.0
+        new_ids: list[int] = []
+        for start in range(0, keys.size, self.file_capacity):
+            chunk_keys = keys[start : start + self.file_capacity]
+            chunk_vals = values[start : start + self.file_capacity]
+            fid = self._next_file_id
+            self._next_file_id += 1
+            f = ParameterFile(fid, chunk_keys.copy())
+            self._store_payload(f, chunk_vals.copy())
+            self._files[fid] = f
+            total_t += self.device.write(self.file_bytes(f))
+            # Repoint the mapping; bump old files' stale counters.
+            for k in chunk_keys:
+                ki = int(k)
+                old = self._mapping.get(ki)
+                if old is not None:
+                    self._files[old].stale_count += 1
+                self._mapping[ki] = fid
+            new_ids.append(fid)
+        return total_t, new_ids
+
+    def read(self, keys: np.ndarray) -> ReadResult:
+        """Load values for ``keys``, reading whole files (I/O unit = file).
+
+        Unmapped keys come back zero-filled with ``found=False``.  Reading
+        a file costs its *entire* size regardless of how many of its rows
+        were requested — the I/O-amplification trade-off of Appendix E.
+        """
+        keys = as_keys(keys)
+        out = np.zeros((keys.size, self.value_dim), dtype=np.float32)
+        found = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return ReadResult(out, found, 0.0, 0, 0)
+        fids = self.mapping_of(keys)
+        total_t = 0.0
+        files_read = 0
+        bytes_read = 0
+        for fid in np.unique(fids):
+            if fid < 0:
+                continue
+            f = self._files[int(fid)]
+            payload = self._payload(f)
+            sel = np.flatnonzero(fids == fid)
+            rows = np.searchsorted(f.keys, keys[sel])
+            out[sel] = payload[rows]
+            found[sel] = True
+            total_t += self.device.read(self.file_bytes(f))
+            files_read += 1
+            bytes_read += self.file_bytes(f)
+        return ReadResult(out, found, total_t, files_read, bytes_read)
+
+    # ------------------------------------------------------------------
+    def live_rows(self, f: ParameterFile) -> tuple[np.ndarray, np.ndarray]:
+        """(keys, values) of the non-stale rows of ``f``."""
+        fids = self.mapping_of(f.keys)
+        live = fids == f.file_id
+        return f.keys[live], self._payload(f)[live]
+
+    def erase(self, file_id: int) -> None:
+        """Remove a file (compaction has rewritten its live rows)."""
+        f = self._files.pop(file_id)
+        if f.path is not None and os.path.exists(f.path):
+            os.remove(f.path)
+
+    def check_invariants(self) -> None:
+        """Debug/test hook: mapping and stale counters must agree."""
+        for fid, f in self._files.items():
+            live = int(np.sum(self.mapping_of(f.keys) == fid))
+            if live != f.n_live:
+                raise AssertionError(
+                    f"file {fid}: stale counter says {f.n_live} live, "
+                    f"mapping says {live}"
+                )
+        for k, fid in self._mapping.items():
+            if fid not in self._files:
+                raise AssertionError(f"key {k} maps to erased file {fid}")

@@ -1,0 +1,90 @@
+"""SSD-PS facade — the bottom layer of the hierarchy (paper Section 6).
+
+Couples the append-only :class:`~repro.ssd.file_store.FileStore` with the
+:class:`~repro.ssd.compaction.Compactor`.  The MEM-PS calls :meth:`load`
+when its cache misses and :meth:`dump` when evicting; every dump runs one
+compaction check, standing in for the paper's background thread while
+keeping the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.ledger import CostLedger
+from repro.hardware.specs import SSDSpec
+from repro.ssd.compaction import CompactionStats, Compactor
+from repro.ssd.file_store import FileStore, ReadResult
+
+__all__ = ["SSDPS", "SSDBatchStats"]
+
+
+@dataclass(frozen=True)
+class SSDBatchStats:
+    """I/O accounting for one load or dump call."""
+
+    seconds: float
+    compaction: CompactionStats | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        extra = self.compaction.seconds if self.compaction else 0.0
+        return self.seconds + extra
+
+
+class SSDPS:
+    """Materialized-parameter server on one node's SSD array."""
+
+    def __init__(
+        self,
+        value_dim: int,
+        *,
+        file_capacity: int = 2**16,
+        ssd_spec: SSDSpec | None = None,
+        usage_threshold: float = 1.6,
+        stale_fraction: float = 0.5,
+        directory: str | None = None,
+        ledger: CostLedger | None = None,
+    ) -> None:
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.store = FileStore(
+            value_dim,
+            file_capacity,
+            ssd_spec=ssd_spec,
+            directory=directory,
+            ledger=self.ledger,
+        )
+        self.compactor = Compactor(
+            self.store,
+            usage_threshold=usage_threshold,
+            stale_fraction=stale_fraction,
+        )
+        self.load_seconds = 0.0
+        self.dump_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def value_dim(self) -> int:
+        return self.store.value_dim
+
+    @property
+    def n_live_params(self) -> int:
+        return self.store.n_live_params
+
+    def load(self, keys: np.ndarray) -> tuple[ReadResult, SSDBatchStats]:
+        """Read values for ``keys`` (never-seen keys return found=False)."""
+        result = self.store.read(keys)
+        self.load_seconds += result.seconds
+        return result, SSDBatchStats(result.seconds)
+
+    def dump(self, keys: np.ndarray, values: np.ndarray) -> SSDBatchStats:
+        """Write updated parameters as new files, then check compaction."""
+        seconds, _ = self.store.write(keys, values)
+        comp = self.compactor.compact()
+        self.dump_seconds += seconds + comp.seconds
+        return SSDBatchStats(seconds, comp if comp.triggered else None)
+
+    def check_invariants(self) -> None:
+        self.store.check_invariants()

@@ -1,0 +1,84 @@
+"""Key utilities shared by every parameter-server layer.
+
+Parameter keys are unsigned 64-bit integers end-to-end (the paper's sparse
+feature ids reach ``10**11``, far beyond 32 bits).  All helpers here are
+vectorized over NumPy ``uint64`` arrays; none of them loop per key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "KEY_DTYPE",
+    "EMPTY_KEY",
+    "as_keys",
+    "splitmix64",
+    "mix_hash",
+    "unique_keys",
+]
+
+KEY_DTYPE = np.uint64
+
+#: Sentinel stored in empty hash-table slots.  ``2**64 - 1`` is never a valid
+#: feature id in any of the generators (they draw from ``[0, n_sparse)``).
+EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_U64 = np.uint64
+
+
+def as_keys(values) -> np.ndarray:
+    """Coerce ``values`` to a contiguous ``uint64`` key array.
+
+    Accepts lists, ranges, or arrays of any integer dtype.  Raises
+    ``ValueError`` for negative inputs rather than silently wrapping.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return np.empty(arr.shape, dtype=KEY_DTYPE)
+    if arr.dtype.kind == "f":
+        raise ValueError("parameter keys must be integers, got floats")
+    if arr.dtype.kind == "i" and arr.size and arr.min() < 0:
+        raise ValueError("parameter keys must be non-negative")
+    if arr.dtype != KEY_DTYPE:
+        arr = arr.astype(KEY_DTYPE)
+    return np.ascontiguousarray(arr)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer — a strong, cheap 64-bit mixer.
+
+    Used to scatter sequential feature ids across hash-table slots and
+    partitions, mirroring the murmur-style mixing cuDF's
+    ``concurrent_unordered_map`` applies before the modulo.
+    """
+    x = x.astype(_U64, copy=True)
+    with np.errstate(over="ignore"):
+        x += _U64(0x9E3779B97F4A7C15)
+        x ^= x >> _U64(30)
+        x *= _U64(0xBF58476D1CE4E5B9)
+        x ^= x >> _U64(27)
+        x *= _U64(0x94D049BB133111EB)
+        x ^= x >> _U64(31)
+    return x
+
+
+def mix_hash(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Mix ``keys`` with an optional ``seed`` salt (vectorized)."""
+    k = as_keys(keys)
+    if seed:
+        with np.errstate(over="ignore"):
+            k = k ^ splitmix64(np.full(1, seed, dtype=_U64))[0]
+    return splitmix64(k)
+
+
+def unique_keys(*key_arrays: np.ndarray) -> np.ndarray:
+    """Union of several key arrays, sorted, deduplicated.
+
+    This implements the "identify the union of the referenced parameters in
+    the current received batch" step of Algorithm 1 (line 3).
+    """
+    non_empty = [as_keys(a) for a in key_arrays if np.asarray(a).size]
+    if not non_empty:
+        return np.empty(0, dtype=KEY_DTYPE)
+    return np.unique(np.concatenate(non_empty))

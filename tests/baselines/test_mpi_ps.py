@@ -1,0 +1,62 @@
+"""Tests for the MPI-cluster baseline."""
+
+import pytest
+
+from repro.baselines.mpi_ps import MPIClusterBaseline, MPITimingModel
+from repro.config import PAPER_MODELS, ClusterConfig
+
+
+class TestTimingModel:
+    def test_throughput_positive_all_models(self):
+        for spec in PAPER_MODELS.values():
+            assert MPITimingModel(spec).throughput() > 0
+
+    def test_uses_table3_node_counts(self):
+        m = MPITimingModel(PAPER_MODELS["D"])
+        assert m.n_nodes == 150
+
+    def test_override_node_count(self):
+        m = MPITimingModel(PAPER_MODELS["A"], n_mpi_nodes=10)
+        assert m.n_nodes == 10
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            MPITimingModel(PAPER_MODELS["A"], n_mpi_nodes=0)
+
+    def test_bigger_models_slower_per_node(self):
+        """Per-node rate falls with model scale (more unique keys per
+        example, bigger payloads, heavier shard)."""
+        rate_a = MPITimingModel(PAPER_MODELS["A"]).node_rate()
+        rate_e = MPITimingModel(PAPER_MODELS["E"]).node_rate()
+        assert rate_e < rate_a
+
+    def test_components_positive(self):
+        t = MPITimingModel(PAPER_MODELS["C"]).batch_time()
+        assert t.compute_seconds > 0
+        assert t.network_seconds > 0
+        assert t.sync_seconds > 0
+        assert t.total_seconds >= t.network_seconds
+
+    def test_sync_grows_with_cluster(self):
+        small = MPITimingModel(PAPER_MODELS["A"], n_mpi_nodes=8).batch_time()
+        large = MPITimingModel(PAPER_MODELS["A"], n_mpi_nodes=128).batch_time()
+        assert large.sync_seconds > small.sync_seconds
+
+
+class TestFunctionalBaseline:
+    def test_matches_reference_semantics(self, tiny_spec, small_config):
+        from repro.core.trainer import ReferenceTrainer
+
+        mpi = MPIClusterBaseline(
+            tiny_spec, small_config, functional_batch_size=256, n_mpi_nodes=10
+        )
+        ref = ReferenceTrainer(tiny_spec, small_config, functional_batch_size=256)
+        for _ in range(2):
+            assert mpi.train_round() == pytest.approx(ref.train_round(), rel=1e-9)
+
+    def test_simulated_throughput_available(self, tiny_spec, small_config):
+        mpi = MPIClusterBaseline(
+            tiny_spec, small_config, functional_batch_size=128, n_mpi_nodes=4
+        )
+        assert mpi.simulated_throughput() > 0
+        assert mpi.simulated_batch_seconds() > 0

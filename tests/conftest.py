@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, ModelSpec
+
+
+@pytest.fixture
+def tiny_spec() -> ModelSpec:
+    return ModelSpec(
+        name="tiny",
+        nonzeros_per_example=8,
+        n_sparse=5_000,
+        n_dense=1_000,
+        size_gb=0.001,
+        mpi_nodes=10,
+        embedding_dim=4,
+        hidden_layers=(16, 8),
+        n_slots=4,
+    )
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    return ClusterConfig(
+        n_nodes=2,
+        gpus_per_node=2,
+        minibatches_per_gpu=2,
+        mem_capacity_params=4_000,
+        hbm_capacity_params=50_000,
+        ssd_file_capacity=128,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

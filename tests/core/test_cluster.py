@@ -1,0 +1,142 @@
+"""Integration tests for the full hierarchical PS cluster (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.cluster import HPSCluster
+from repro.core.trainer import ReferenceTrainer, Trainer
+
+
+@pytest.fixture
+def cluster(tiny_spec, small_config):
+    return HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+
+
+class TestTrainRound:
+    def test_round_produces_stats(self, cluster):
+        stats = cluster.train_round()
+        assert stats.n_examples == 256 * 2  # 2 nodes
+        assert stats.read_seconds > 0
+        assert stats.mean_loss > 0
+        assert stats.n_working_params > 0
+
+    def test_rounds_advance(self, cluster):
+        cluster.train(3)
+        assert cluster.rounds_completed == 3
+        assert len(cluster.history) == 3
+
+    def test_loss_decreases_over_training(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=512)
+        stats = cluster.train(8)
+        first = np.mean([s.mean_loss for s in stats[:2]])
+        last = np.mean([s.mean_loss for s in stats[-2:]])
+        assert last < first
+
+    def test_cache_warms_up(self, cluster):
+        # Round 0 is not exactly zero in multi-node runs: a node's remote
+        # pulls warm the owner's cache before the owner's own prepare.
+        stats = cluster.train(4)
+        assert stats[0].cache_hit_rate < stats[-1].cache_hit_rate
+        assert stats[-1].cache_hit_rate > 0.3
+
+    def test_stage_times_positive(self, cluster):
+        s = cluster.train_round()
+        assert s.pull_push_seconds >= 0
+        assert s.train_seconds > 0
+        assert s.bottleneck_seconds == max(s.stage_times)
+
+    def test_auc_improves_over_random(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=512)
+        cluster.train(8)
+        eval_batch = cluster.generator.batch(500, 2048)
+        assert cluster.evaluate_auc(eval_batch) > 0.55
+
+
+class TestLosslessness:
+    """Paper Fig. 3(b): hierarchical training is lossless — per-mini-batch
+    synchronization makes it mathematically identical to the single-store
+    reference up to float reduction order."""
+
+    def test_losses_match_reference_exactly(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+        ref = ReferenceTrainer(tiny_spec, small_config, functional_batch_size=256)
+        for _ in range(4):
+            s = cluster.train_round()
+            l = ref.train_round()
+            assert s.mean_loss == pytest.approx(l, rel=1e-6)
+
+    def test_embeddings_match_reference(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+        ref = ReferenceTrainer(tiny_spec, small_config, functional_batch_size=256)
+        for _ in range(3):
+            cluster.train_round()
+            ref.train_round()
+        probe = cluster.generator.batch(77, 128).unique_keys()
+        a = cluster.lookup_embeddings(probe)
+        b = ref.embedding_of(probe)
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_auc_parity_within_paper_tolerance(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+        ref = ReferenceTrainer(tiny_spec, small_config, functional_batch_size=256)
+        for _ in range(4):
+            cluster.train_round()
+            ref.train_round()
+        eval_batch = cluster.generator.batch(900, 2048)
+        a = cluster.evaluate_auc(eval_batch)
+        b = ref.evaluate_auc(eval_batch)
+        assert abs(a / b - 1.0) < 1e-3  # paper: within 0.1%
+
+    def test_dense_replicas_stay_identical(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+        cluster.train(3)
+        states = [n.model.dense_state() for n in cluster.nodes]
+        for s in states[1:]:
+            for a, b in zip(states[0], s):
+                assert np.array_equal(a, b)
+
+
+class TestMultiNodeConsistency:
+    def test_node_counts_agree(self, tiny_spec):
+        """1-node and 2-node clusters on the same per-round data produce
+        the same model (data-parallel determinism)."""
+        cfg1 = ClusterConfig(
+            n_nodes=1, gpus_per_node=4, minibatches_per_gpu=2,
+            mem_capacity_params=8_000, hbm_capacity_params=50_000,
+            ssd_file_capacity=128, seed=7,
+        )
+        # Note: a 2-node cluster reads 2 batches/round, so this checks
+        # self-consistency of each deployment rather than cross-equality.
+        c = HPSCluster(tiny_spec, cfg1, functional_batch_size=256)
+        stats = c.train(3)
+        assert all(s.n_examples == 256 for s in stats)
+
+    def test_three_nodes_non_power_of_two(self, tiny_spec):
+        cfg = ClusterConfig(
+            n_nodes=3, gpus_per_node=2, minibatches_per_gpu=1,
+            mem_capacity_params=6_000, hbm_capacity_params=50_000,
+            ssd_file_capacity=128, seed=3,
+        )
+        cluster = HPSCluster(tiny_spec, cfg, functional_batch_size=128)
+        ref = ReferenceTrainer(tiny_spec, cfg, functional_batch_size=128)
+        for _ in range(2):
+            s = cluster.train_round()
+            l = ref.train_round()
+            assert s.mean_loss == pytest.approx(l, rel=1e-6)
+
+
+class TestTrainer:
+    def test_history_collection(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+        eval_batch = cluster.generator.batch(999, 512)
+        trainer = Trainer(cluster, eval_batch=eval_batch, eval_every=2)
+        hist = trainer.run(4)
+        assert hist.n_rounds == 4
+        assert len(hist.aucs) == 2
+        assert hist.throughput() > 0
+
+    def test_final_auc_requires_eval_batch(self, cluster):
+        trainer = Trainer(cluster)
+        with pytest.raises(ValueError):
+            trainer.final_auc()

@@ -1,0 +1,120 @@
+"""Failure-injection and boundary tests across the stack.
+
+These pin down what happens when capacity assumptions are violated —
+the errors must be loud and specific, never silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, ModelSpec
+from repro.core.cluster import HPSCluster
+from repro.hbm.hash_table import HashTable
+from repro.mem.cache import CombinedCache
+
+
+class TestCapacityViolations:
+    def test_hbm_overflow_is_loud(self, tiny_spec):
+        """A working set beyond GPU capacity must raise, not wrap."""
+        cfg = ClusterConfig(
+            n_nodes=1,
+            gpus_per_node=2,
+            minibatches_per_gpu=1,
+            mem_capacity_params=50_000,
+            hbm_capacity_params=10,  # absurdly small
+            ssd_file_capacity=64,
+            seed=0,
+        )
+        cluster = HPSCluster(tiny_spec, cfg, functional_batch_size=512)
+        with pytest.raises(RuntimeError, match="capacity"):
+            cluster.train_round()
+
+    def test_pinned_overflow_is_loud(self, tiny_spec):
+        """A pinned working set beyond MEM capacity must raise with the
+        paper's explanation."""
+        cfg = ClusterConfig(
+            n_nodes=1,
+            gpus_per_node=2,
+            minibatches_per_gpu=1,
+            mem_capacity_params=20,  # smaller than any working set
+            hbm_capacity_params=50_000,
+            ssd_file_capacity=64,
+            seed=0,
+        )
+        cluster = HPSCluster(tiny_spec, cfg, functional_batch_size=512)
+        with pytest.raises(RuntimeError, match="pinned"):
+            cluster.train_round()
+
+    def test_hash_table_never_silently_drops(self):
+        t = HashTable(4, 1)
+        keys = np.arange(4, dtype=np.uint64)
+        t.insert(keys, np.zeros((4, 1), np.float32))
+        with pytest.raises(RuntimeError):
+            t.insert(np.array([99], dtype=np.uint64), np.zeros((1, 1), np.float32))
+        # The original contents are intact after the failed insert.
+        _, found = t.get(keys)
+        assert found.all()
+
+
+class TestDataBoundaries:
+    def test_minibatch_count_exceeding_examples(self, tiny_spec):
+        """More (GPU x minibatch) slots than examples: empty shards must
+        be skipped cleanly."""
+        cfg = ClusterConfig(
+            n_nodes=1,
+            gpus_per_node=4,
+            minibatches_per_gpu=4,
+            mem_capacity_params=4_000,
+            hbm_capacity_params=50_000,
+            ssd_file_capacity=64,
+            seed=0,
+        )
+        cluster = HPSCluster(tiny_spec, cfg, functional_batch_size=8)
+        stats = cluster.train_round()
+        assert stats.n_examples == 8
+
+    def test_single_gpu_single_node(self, tiny_spec):
+        cfg = ClusterConfig(
+            n_nodes=1,
+            gpus_per_node=1,
+            minibatches_per_gpu=1,
+            mem_capacity_params=4_000,
+            hbm_capacity_params=50_000,
+            ssd_file_capacity=64,
+            seed=0,
+        )
+        cluster = HPSCluster(tiny_spec, cfg, functional_batch_size=64)
+        stats = cluster.train_round()
+        assert np.isfinite(stats.mean_loss)
+
+    def test_repeated_rounds_keep_invariants(self, tiny_spec):
+        cfg = ClusterConfig(
+            n_nodes=2,
+            gpus_per_node=2,
+            minibatches_per_gpu=2,
+            mem_capacity_params=2_000,
+            hbm_capacity_params=50_000,
+            ssd_file_capacity=64,
+            cache_lru_fraction=0.6,
+            seed=1,
+        )
+        cluster = HPSCluster(tiny_spec, cfg, functional_batch_size=256)
+        cluster.train(6)
+        for node in cluster.nodes:
+            node.ssd_ps.check_invariants()
+            # No pins leak across batches.
+            assert node.mem_ps.cache.lru.pinned_count() == 0
+
+
+class TestCacheEdges:
+    def test_minimum_viable_cache(self):
+        c = CombinedCache(2, lru_fraction=0.5, value_dim=1)
+        c.put(1, np.zeros(1, np.float32))
+        c.put(2, np.zeros(1, np.float32))
+        c.put(3, np.zeros(1, np.float32))
+        assert len(c) <= 2
+
+    def test_pending_flush_empty_by_default(self):
+        c = CombinedCache(4, value_dim=1)
+        fk, fv = c.take_pending_flush()
+        assert fk.size == 0 and fv.shape == (0, 1)

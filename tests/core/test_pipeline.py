@@ -1,0 +1,127 @@
+"""Tests for the 4-stage pipeline simulator (Appendix B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import PipelineSimulator, STAGE_NAMES
+
+
+class TestValidation:
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(n_stages=0)
+
+    def test_queue_capacity_count(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(n_stages=4, queue_capacity=(1, 2))
+
+    def test_queue_capacity_positive(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(n_stages=2, queue_capacity=(0,))
+
+    def test_stage_times_shape(self):
+        sim = PipelineSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(np.ones((3, 2)))
+
+    def test_negative_times(self):
+        sim = PipelineSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-np.ones((2, 4)))
+
+
+class TestScheduling:
+    def test_single_batch_is_serial(self):
+        sim = PipelineSimulator()
+        sched = sim.schedule(np.array([[1.0, 2.0, 3.0, 4.0]]))
+        assert sched.makespan == pytest.approx(10.0)
+
+    def test_steady_state_equals_bottleneck(self):
+        """Paper: 'the overall execution time for each batch is dominated
+        by the slowest stage'."""
+        sim = PipelineSimulator()
+        times = np.tile([1.0, 5.0, 2.0, 3.0], (20, 1))
+        sched = sim.schedule(times)
+        assert sched.steady_state_interval == pytest.approx(5.0)
+
+    def test_pipeline_beats_serial(self):
+        sim = PipelineSimulator()
+        times = np.tile([2.0, 2.0, 2.0, 2.0], (10, 1))
+        sched = sim.schedule(times)
+        assert sched.makespan < sim.serial_makespan(times)
+        # Ideal: fill (8) + 9 more bottleneck intervals (2 each).
+        assert sched.makespan == pytest.approx(8 + 9 * 2)
+
+    def test_stage_order_respected(self):
+        sim = PipelineSimulator()
+        sched = sim.schedule(np.ones((5, 4)))
+        for b in range(5):
+            for s in range(1, 4):
+                assert sched.start[b, s] >= sched.finish[b, s - 1]
+
+    def test_resource_serialization(self):
+        sim = PipelineSimulator()
+        sched = sim.schedule(np.ones((5, 4)))
+        for b in range(1, 5):
+            for s in range(4):
+                assert sched.start[b, s] >= sched.finish[b - 1, s]
+
+    def test_backpressure_with_queue_capacity_one(self):
+        """A slow downstream stage stalls the producer once its queue
+        of one is full."""
+        sim = PipelineSimulator(n_stages=2, queue_capacity=1, stage_names=("a", "b"))
+        times = np.tile([1.0, 10.0], (4, 1))
+        sched = sim.schedule(times)
+        # Stage a of batch 2 cannot start until stage b started batch 1.
+        assert sched.start[2, 0] >= sched.start[1, 1]
+
+    def test_deeper_queues_reduce_stalls(self):
+        times = np.tile([1.0, 3.0, 1.0, 1.0], (12, 1))
+        shallow = PipelineSimulator(queue_capacity=1).schedule(times)
+        deep = PipelineSimulator(queue_capacity=4).schedule(times)
+        assert deep.makespan <= shallow.makespan
+
+    def test_bottleneck_stage_identified(self):
+        sim = PipelineSimulator()
+        sched = sim.schedule(np.tile([1.0, 1.0, 9.0, 1.0], (6, 1)))
+        assert sched.bottleneck_stage() == 2
+        assert sched.stage_names == STAGE_NAMES
+
+    def test_empty_schedule(self):
+        sim = PipelineSimulator()
+        sched = sim.schedule(np.zeros((0, 4)))
+        assert sched.makespan == 0.0
+
+
+class TestHidesIOLatency:
+    def test_io_hidden_behind_gpu(self):
+        """Paper Section 3: with the GPU as the bottleneck, adding I/O
+        stages does not change the steady-state interval."""
+        sim = PipelineSimulator()
+        gpu_only = np.tile([0.0, 0.0, 0.0, 4.0], (15, 1))
+        with_io = np.tile([3.0, 3.0, 3.0, 4.0], (15, 1))
+        a = sim.schedule(gpu_only).steady_state_interval
+        b = sim.schedule(with_io).steady_state_interval
+        assert b == pytest.approx(a)
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_makespan_bounds(n_batches, n_stages, seed):
+    """Pipelined makespan is between the bottleneck lower bound and the
+    fully serial upper bound."""
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(0.1, 5.0, size=(n_batches, n_stages))
+    sim = PipelineSimulator(
+        n_stages=n_stages, queue_capacity=2, stage_names=tuple(f"s{i}" for i in range(n_stages))
+    )
+    sched = sim.schedule(times)
+    lower = times.sum(axis=0).max()
+    upper = times.sum()
+    assert lower - 1e-9 <= sched.makespan <= upper + 1e-9

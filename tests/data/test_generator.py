@@ -1,0 +1,125 @@
+"""Tests for the synthetic CTR data generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelSpec
+from repro.data.generator import CTRDataGenerator, zipf_probabilities
+
+
+@pytest.fixture
+def spec():
+    return ModelSpec(
+        name="gen-test",
+        nonzeros_per_example=8,
+        n_sparse=10_000,
+        n_dense=100,
+        size_gb=0.001,
+        mpi_nodes=1,
+        embedding_dim=4,
+        n_slots=4,
+    )
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        p = zipf_probabilities(1000)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        p = zipf_probabilities(100)
+        assert np.all(np.diff(p) < 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+
+
+class TestGenerator:
+    def test_batch_shape(self, spec):
+        gen = CTRDataGenerator(spec, seed=0)
+        b = gen.batch(0, 100)
+        assert b.n_examples == 100
+        assert b.n_nonzeros == 100 * spec.nonzeros_per_example
+
+    def test_deterministic_per_index(self, spec):
+        g1 = CTRDataGenerator(spec, seed=3)
+        g2 = CTRDataGenerator(spec, seed=3)
+        a, b = g1.batch(5, 64), g2.batch(5, 64)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_indices_differ(self, spec):
+        gen = CTRDataGenerator(spec, seed=3)
+        assert not np.array_equal(gen.batch(0, 64).keys, gen.batch(1, 64).keys)
+
+    def test_different_seeds_differ(self, spec):
+        a = CTRDataGenerator(spec, seed=1).batch(0, 64)
+        b = CTRDataGenerator(spec, seed=2).batch(0, 64)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_keys_within_key_space(self, spec):
+        b = CTRDataGenerator(spec, seed=0).batch(0, 500)
+        assert int(b.keys.max()) < spec.n_sparse
+
+    def test_keys_respect_slot_bands(self, spec):
+        b = CTRDataGenerator(spec, seed=0).batch(0, 200)
+        vocab = spec.n_sparse // spec.n_slots
+        ids_per_slot = spec.nonzeros_per_example // spec.n_slots
+        keys = b.keys.reshape(200, spec.n_slots, ids_per_slot)
+        for s in range(spec.n_slots):
+            band = keys[:, s, :].astype(np.int64)
+            assert band.min() >= s * vocab
+            assert band.max() < (s + 1) * vocab
+
+    def test_labels_binary_and_balanced(self, spec):
+        b = CTRDataGenerator(spec, seed=0).batch(0, 2000)
+        assert set(np.unique(b.labels)) <= {0.0, 1.0}
+        rate = float(b.labels.mean())
+        assert 0.3 < rate < 0.7  # median-centering keeps classes balanced
+
+    def test_popularity_skew(self, spec):
+        """Hot keys dominate: top 1% of keys covers far more than 1% of
+        draws (this is what makes the MEM-PS cache effective)."""
+        b = CTRDataGenerator(spec, seed=0).batch(0, 2000)
+        _, counts = np.unique(b.keys, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top = counts[: max(1, counts.size // 100)].sum()
+        assert top / counts.sum() > 0.05
+
+    def test_batches_generator_yields_n(self, spec):
+        gen = CTRDataGenerator(spec, seed=0)
+        assert len(list(gen.batches(3, 16))) == 3
+
+    def test_signal_is_learnable(self, spec):
+        """A trivial per-key frequency model must beat random AUC —
+        otherwise the planted signal is broken."""
+        from repro.nn.metrics import auc
+
+        gen = CTRDataGenerator(spec, seed=0)
+        train = gen.batch(0, 4000)
+        test = gen.batch(1, 4000)
+        # Score = sum of per-key empirical log-odds from train.
+        keys, inv = np.unique(train.keys, return_inverse=True)
+        rows = np.repeat(np.arange(train.n_examples), train.row_lengths())
+        pos = np.zeros(keys.size)
+        tot = np.zeros(keys.size)
+        np.add.at(pos, inv, train.labels[rows])
+        np.add.at(tot, inv, 1.0)
+        w = (pos + 1) / (tot + 2) - 0.5
+        idx = np.searchsorted(keys, test.keys)
+        idx = np.clip(idx, 0, keys.size - 1)
+        valid = keys[idx] == test.keys
+        contrib = np.where(valid, w[idx], 0.0)
+        test_rows = np.repeat(np.arange(test.n_examples), test.row_lengths())
+        scores = np.zeros(test.n_examples)
+        np.add.at(scores, test_rows, contrib)
+        assert auc(test.labels, scores) > 0.55
+
+    def test_invalid_exponent(self, spec):
+        with pytest.raises(ValueError):
+            CTRDataGenerator(spec, zipf_exponent=1.0)
+
+    def test_invalid_batch_size(self, spec):
+        with pytest.raises(ValueError):
+            CTRDataGenerator(spec, seed=0).batch(0, 0)

@@ -1,0 +1,74 @@
+"""Tests for the simulated HDFS stream."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelSpec
+from repro.data.generator import CTRDataGenerator
+from repro.data.hdfs import HDFSStream
+from repro.hardware.specs import HDFSSpec
+
+
+@pytest.fixture
+def gen():
+    spec = ModelSpec(
+        name="hdfs-test",
+        nonzeros_per_example=8,
+        n_sparse=5_000,
+        n_dense=100,
+        size_gb=0.001,
+        mpi_nodes=1,
+        embedding_dim=4,
+        n_slots=4,
+    )
+    return CTRDataGenerator(spec, seed=0)
+
+
+class TestHDFSStream:
+    def test_read_charges_ledger(self, gen):
+        s = HDFSStream(gen, HDFSSpec(), batch_size=64)
+        tb = s.read(0)
+        assert tb.read_seconds > 0
+        assert s.ledger.total("hdfs_read") == pytest.approx(tb.read_seconds)
+
+    def test_read_time_scales_with_batch_size(self, gen):
+        spec = HDFSSpec()
+        small = HDFSStream(gen, spec, batch_size=64).read(0)
+        large = HDFSStream(gen, spec, batch_size=640).read(0)
+        assert large.read_seconds > small.read_seconds
+
+    def test_nodes_receive_disjoint_batches(self, gen):
+        spec = HDFSSpec()
+        s0 = HDFSStream(gen, spec, node_id=0, n_nodes=2, batch_size=32)
+        s1 = HDFSStream(gen, spec, node_id=1, n_nodes=2, batch_size=32)
+        b0 = [tb.index for tb in s0.stream(3)]
+        b1 = [tb.index for tb in s1.stream(3)]
+        assert b0 == [0, 2, 4]
+        assert b1 == [1, 3, 5]
+        assert not set(b0) & set(b1)
+
+    def test_same_index_same_data(self, gen):
+        spec = HDFSSpec()
+        a = HDFSStream(gen, spec, batch_size=32).read(7)
+        b = HDFSStream(gen, spec, batch_size=32).read(7)
+        assert np.array_equal(a.batch.keys, b.batch.keys)
+
+    def test_counters(self, gen):
+        s = HDFSStream(gen, HDFSSpec(), batch_size=64)
+        list(s.stream(4))
+        assert s.batches_read == 4
+        assert s.bytes_read > 0
+
+    def test_invalid_node_id(self, gen):
+        with pytest.raises(ValueError):
+            HDFSStream(gen, HDFSSpec(), node_id=2, n_nodes=2)
+
+    def test_invalid_batch_size(self, gen):
+        with pytest.raises(ValueError):
+            HDFSStream(gen, HDFSSpec(), batch_size=0)
+
+    def test_bandwidth_inverse_to_time(self, gen):
+        fast = HDFSStream(gen, HDFSSpec(bandwidth=1e9), batch_size=256).read(0)
+        slow = HDFSStream(gen, HDFSSpec(bandwidth=1e6), batch_size=256).read(0)
+        # Latency (1 ms) floors the fast read; bandwidth still dominates.
+        assert slow.read_seconds > fast.read_seconds * 10

@@ -1,0 +1,138 @@
+"""Tests for OP+OSRP hashing (Section 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batching import Batch
+from repro.hashing.op_osrp import OPOSRPHasher
+
+
+def make_batch(rows, labels=None):
+    keys = np.array([k for r in rows for k in r], dtype=np.uint64)
+    offsets = np.cumsum([0] + [len(r) for r in rows])
+    labels = labels if labels is not None else [0.0] * len(rows)
+    return Batch(keys, offsets, np.array(labels, dtype=np.float32))
+
+
+class TestConstruction:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            OPOSRPHasher(0, 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            OPOSRPHasher(100, 0)
+        with pytest.raises(ValueError):
+            OPOSRPHasher(100, 200)
+
+    def test_out_dim_is_2k(self):
+        assert OPOSRPHasher(1000, 64).out_dim == 128
+
+
+class TestPermutation:
+    def test_is_bijection(self):
+        h = OPOSRPHasher(1009, 16, seed=0)  # prime p
+        x = np.arange(1009, dtype=np.uint64)
+        assert np.unique(h.perm(x)).size == 1009
+
+    def test_bijection_composite_p(self):
+        h = OPOSRPHasher(1024, 16, seed=3)
+        x = np.arange(1024, dtype=np.uint64)
+        assert np.unique(h.perm(x)).size == 1024
+
+    def test_bins_balanced(self):
+        h = OPOSRPHasher(10_000, 10, seed=0)
+        bins = h._bins(np.arange(10_000, dtype=np.uint64))
+        counts = np.bincount(bins, minlength=10)
+        assert counts.max() - counts.min() <= 1
+
+    def test_signs_are_rademacher(self):
+        h = OPOSRPHasher(1000, 10, seed=0)
+        s = h._signs(np.arange(1000, dtype=np.uint64))
+        assert set(np.unique(s)) == {-1.0, 1.0}
+        assert abs(s.mean()) < 0.15
+
+
+class TestTransform:
+    def test_output_keys_in_range(self):
+        h = OPOSRPHasher(1000, 16, seed=0)
+        out = h.transform(make_batch([[1, 2, 3], [4, 5]]))
+        assert out.n_examples == 2
+        if out.n_nonzeros:
+            assert int(out.keys.max()) < 2 * 16
+
+    def test_labels_preserved(self):
+        h = OPOSRPHasher(100, 8, seed=0)
+        out = h.transform(make_batch([[1], [2]], labels=[1, 0]))
+        assert out.labels.tolist() == [1.0, 0.0]
+
+    def test_deterministic(self):
+        h = OPOSRPHasher(500, 16, seed=1)
+        b = make_batch([[1, 2, 3, 4]])
+        a, c = h.transform(b), h.transform(b)
+        assert np.array_equal(a.keys, c.keys)
+
+    def test_single_column_per_bin_keeps_info(self):
+        """With k == p every column is its own bin: z = r_i, so every
+        active input feature maps to exactly one output feature."""
+        h = OPOSRPHasher(64, 64, seed=0)
+        b = make_batch([[i] for i in range(64)])
+        out = h.transform(b)
+        assert out.n_nonzeros == 64
+        assert np.all(out.row_lengths() == 1)
+
+    def test_cancellation_drops_feature(self):
+        """Two columns with opposite signs in one bin cancel to z=0 ->
+        the paper's [0 0] case."""
+        h = OPOSRPHasher(2, 1, seed=0)
+        signs = h._signs(np.array([0, 1], dtype=np.uint64))
+        b = make_batch([[0, 1]])
+        out = h.transform(b)
+        if signs[0] != signs[1]:
+            assert out.n_nonzeros == 0
+        else:
+            assert out.n_nonzeros == 1
+
+    def test_collision_rate_grows_as_k_shrinks(self):
+        rng = np.random.default_rng(0)
+        rows = [sorted(rng.choice(5000, 20, replace=False).tolist()) for _ in range(50)]
+        b = make_batch(rows)
+        outs = {k: OPOSRPHasher(5000, k, seed=0).transform(b) for k in (4096, 64)}
+        # Fewer bins -> more columns share a bin -> fewer output nonzeros.
+        assert outs[64].n_nonzeros < outs[4096].n_nonzeros
+
+    def test_transform_many(self):
+        h = OPOSRPHasher(100, 8)
+        outs = h.transform_many([make_batch([[1]]), make_batch([[2]])])
+        assert len(outs) == 2
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(0, 499), min_size=0, max_size=10),
+        min_size=1,
+        max_size=20,
+    ),
+    st.sampled_from([8, 32, 128]),
+)
+@settings(max_examples=40, deadline=None)
+def test_transform_matches_bruteforce(rows, k):
+    """Vectorized transform == per-example brute-force reference."""
+    h = OPOSRPHasher(500, k, seed=7)
+    batch = make_batch(rows)
+    out = h.transform(batch)
+    for i, row in enumerate(rows):
+        keys = np.array(sorted(set(row)), dtype=np.uint64)
+        # brute force: z per bin over the *multiset* of this row's columns
+        all_keys = np.array(row, dtype=np.uint64)
+        z = {}
+        if all_keys.size:
+            bins = h._bins(all_keys)
+            signs = h._signs(all_keys)
+            for b_, s_ in zip(bins.tolist(), signs.tolist()):
+                z[b_] = z.get(b_, 0.0) + s_
+        expected = sorted(2 * b_ + (1 if v > 0 else 0) for b_, v in z.items() if v != 0)
+        got = sorted(out.keys[out.offsets[i] : out.offsets[i + 1]].tolist())
+        assert got == expected

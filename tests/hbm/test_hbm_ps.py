@@ -1,0 +1,114 @@
+"""Tests for the HBM-PS facade."""
+
+import numpy as np
+import pytest
+
+from repro.hbm.allreduce import SparseUpdate
+from repro.hbm.hbm_ps import HBMPS
+from repro.nn.optim import SparseAdagrad, SparseSGD
+
+
+def keys_of(xs):
+    return np.array(xs, dtype=np.uint64)
+
+
+@pytest.fixture
+def ps():
+    return HBMPS(2, capacity_per_gpu=1000, optimizer=SparseSGD(2, lr=1.0))
+
+
+class TestLoadPull:
+    def test_pull_returns_embeddings(self, ps):
+        keys = keys_of(range(10))
+        values = np.arange(20, dtype=np.float32).reshape(10, 2)
+        ps.load_working_set(keys, values)
+        emb, t = ps.pull_embeddings(keys, gpu=0)
+        assert np.array_equal(emb, values)  # SGD: value == embedding
+        assert t > 0
+
+    def test_adagrad_embedding_slice(self):
+        opt = SparseAdagrad(2, lr=0.1)
+        ps = HBMPS(2, 1000, opt)
+        keys = keys_of([1, 2])
+        values = np.array(
+            [[1, 2, 10, 20], [3, 4, 30, 40]], dtype=np.float32
+        )  # emb + accumulator
+        ps.load_working_set(keys, values)
+        emb, _ = ps.pull_embeddings(keys)
+        assert emb.tolist() == [[1, 2], [3, 4]]
+
+    def test_reload_replaces_working_set(self, ps):
+        ps.load_working_set(keys_of([1]), np.ones((1, 2), dtype=np.float32))
+        ps.load_working_set(keys_of([2]), np.ones((1, 2), dtype=np.float32))
+        with pytest.raises(KeyError):
+            ps.pull_embeddings(keys_of([1]))
+
+
+class TestPushDrain:
+    def test_push_accumulates_and_drain_clears(self, ps):
+        keys = keys_of([1, 2])
+        ps.load_working_set(keys, np.zeros((2, 2), dtype=np.float32))
+        ps.push_gradients(keys, np.ones((2, 2), dtype=np.float32), gpu=0)
+        ps.push_gradients(keys_of([2]), np.ones((1, 2), dtype=np.float32), gpu=1)
+        update = ps.drain_gradients()
+        assert update.keys.tolist() == [1, 2]
+        assert update.grads[:, 0].tolist() == [1.0, 2.0]
+        assert ps.drain_gradients().n_keys == 0
+
+    def test_workers_on_different_gpus_merge(self, ps):
+        keys = keys_of(range(8))
+        ps.load_working_set(keys, np.zeros((8, 2), dtype=np.float32))
+        for gpu in range(2):
+            ps.push_gradients(keys, np.full((8, 2), 0.5, dtype=np.float32), gpu=gpu)
+        update = ps.drain_gradients()
+        assert np.all(update.grads == 1.0)
+
+
+class TestApplyUpdate:
+    def test_sgd_applies_gradients(self, ps):
+        keys = keys_of([1, 2])
+        ps.load_working_set(keys, np.zeros((2, 2), dtype=np.float32))
+        update = SparseUpdate(keys, np.ones((2, 2)))
+        missing, t = ps.apply_update(update)
+        assert missing.size == 0
+        emb, _ = ps.pull_embeddings(keys)
+        assert np.all(emb == -1.0)  # lr=1.0 SGD: 0 - 1*1
+
+    def test_missing_keys_reported(self, ps):
+        ps.load_working_set(keys_of([1]), np.zeros((1, 2), dtype=np.float32))
+        update = SparseUpdate(keys_of([1, 5, 9]), np.ones((3, 2)))
+        missing, _ = ps.apply_update(update)
+        assert missing.tolist() == [5, 9]
+        emb, _ = ps.pull_embeddings(keys_of([1]))
+        assert np.all(emb == -1.0)
+
+    def test_empty_update_noop(self, ps):
+        missing, t = ps.apply_update(SparseUpdate.empty(2))
+        assert missing.size == 0
+        assert t == 0.0
+
+    def test_gradient_alignment_across_partitions(self, ps):
+        """Each GPU partition must receive *its own* gradient rows."""
+        keys = keys_of(range(20))
+        values = np.zeros((20, 2), dtype=np.float32)
+        ps.load_working_set(keys, values)
+        grads = np.arange(20, dtype=np.float64).repeat(2).reshape(20, 2)
+        ps.apply_update(SparseUpdate(keys, grads))
+        emb, _ = ps.pull_embeddings(keys)
+        assert np.allclose(emb, -grads)  # SGD lr=1
+
+
+class TestDump:
+    def test_dump_returns_everything_sorted(self, ps):
+        keys = keys_of([9, 3, 7])
+        values = np.ones((3, 2), dtype=np.float32)
+        ps.load_working_set(keys, values)
+        k, v = ps.dump()
+        assert k.tolist() == [3, 7, 9]
+        assert v.shape == (3, 2)
+
+    def test_clear(self, ps):
+        ps.load_working_set(keys_of([1]), np.ones((1, 2), dtype=np.float32))
+        ps.clear()
+        k, _ = ps.dump()
+        assert k.size == 0

@@ -1,0 +1,171 @@
+"""Tests for the SSD parameter-file store (Appendix E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.file_store import FileStore
+
+
+def keys_of(xs):
+    return np.array(xs, dtype=np.uint64)
+
+
+def vals_of(n, dim=2, base=0.0):
+    return (np.arange(n * dim, dtype=np.float32) + base).reshape(n, dim)
+
+
+@pytest.fixture
+def store():
+    return FileStore(2, file_capacity=4)
+
+
+class TestWrite:
+    def test_chunks_into_files(self, store):
+        t, ids = store.write(keys_of(range(10)), vals_of(10))
+        assert len(ids) == 3  # 4 + 4 + 2
+        assert store.n_files == 3
+        assert t > 0
+
+    def test_mapping_points_to_new_files(self, store):
+        store.write(keys_of([1, 2]), vals_of(2))
+        fids = store.mapping_of(keys_of([1, 2]))
+        assert (fids >= 0).all()
+
+    def test_rewrite_marks_old_stale(self, store):
+        _, (fid,) = store.write(keys_of([1, 2]), vals_of(2))
+        store.write(keys_of([1]), vals_of(1, base=100))
+        old = [f for f in store.files() if f.file_id == fid][0]
+        assert old.stale_count == 1
+        assert old.n_live == 1
+
+    def test_duplicate_keys_rejected(self, store):
+        with pytest.raises(ValueError, match="unique"):
+            store.write(keys_of([1, 1]), vals_of(2))
+
+    def test_empty_write(self, store):
+        t, ids = store.write(keys_of([]), np.zeros((0, 2), np.float32))
+        assert t == 0.0
+        assert ids == []
+
+    def test_shape_mismatch(self, store):
+        with pytest.raises(ValueError):
+            store.write(keys_of([1]), np.zeros((1, 3), np.float32))
+
+
+class TestRead:
+    def test_roundtrip(self, store):
+        keys = keys_of([5, 1, 9])
+        vals = vals_of(3)
+        store.write(keys, vals)
+        r = store.read(keys)
+        assert r.found.all()
+        assert np.array_equal(r.values, vals)
+
+    def test_latest_version_wins(self, store):
+        store.write(keys_of([1]), vals_of(1))
+        new = vals_of(1, base=50)
+        store.write(keys_of([1]), new)
+        r = store.read(keys_of([1]))
+        assert np.array_equal(r.values, new)
+
+    def test_unmapped_keys_not_found(self, store):
+        store.write(keys_of([1]), vals_of(1))
+        r = store.read(keys_of([1, 77]))
+        assert r.found.tolist() == [True, False]
+        assert np.all(r.values[1] == 0)
+
+    def test_whole_file_io_amplification(self, store):
+        """Reading one key charges the entire containing file."""
+        store.write(keys_of(range(4)), vals_of(4))  # one full file
+        r = store.read(keys_of([0]))
+        assert r.files_read == 1
+        assert r.bytes_read == store.file_bytes(store.files()[0])
+
+    def test_read_groups_by_file(self, store):
+        store.write(keys_of(range(8)), vals_of(8))  # two files
+        r = store.read(keys_of(range(8)))
+        assert r.files_read == 2
+
+    def test_empty_read(self, store):
+        r = store.read(keys_of([]))
+        assert r.seconds == 0.0
+        assert r.values.shape == (0, 2)
+
+
+class TestAccounting:
+    def test_live_vs_total_bytes(self, store):
+        store.write(keys_of(range(4)), vals_of(4))
+        assert store.total_bytes == store.live_bytes
+        store.write(keys_of(range(4)), vals_of(4, base=9))
+        assert store.total_bytes == 2 * store.live_bytes
+
+    def test_live_rows(self, store):
+        _, (fid,) = store.write(keys_of([1, 2]), vals_of(2))
+        store.write(keys_of([2]), vals_of(1, base=7))
+        f = [f for f in store.files() if f.file_id == fid][0]
+        k, v = store.live_rows(f)
+        assert k.tolist() == [1]
+
+    def test_erase(self, store):
+        _, (fid,) = store.write(keys_of([1]), vals_of(1))
+        store.write(keys_of([1]), vals_of(1, base=5))  # fid now all-stale
+        store.erase(fid)
+        assert store.n_files == 1
+        r = store.read(keys_of([1]))
+        assert r.found.all()
+
+    def test_invariants_hold(self, store):
+        store.write(keys_of(range(10)), vals_of(10))
+        store.write(keys_of(range(5)), vals_of(5, base=3))
+        store.check_invariants()
+
+
+class TestDiskBackend:
+    def test_roundtrip_on_real_files(self, tmp_path):
+        store = FileStore(2, file_capacity=4, directory=str(tmp_path))
+        keys = keys_of(range(6))
+        vals = vals_of(6)
+        store.write(keys, vals)
+        r = store.read(keys)
+        assert np.array_equal(r.values, vals)
+        assert len(list(tmp_path.glob("*.npy"))) == 2
+
+    def test_erase_removes_file(self, tmp_path):
+        store = FileStore(1, file_capacity=2, directory=str(tmp_path))
+        _, (fid,) = store.write(keys_of([1]), np.ones((1, 1), np.float32))
+        store.write(keys_of([1]), np.zeros((1, 1), np.float32))
+        store.erase(fid)
+        assert len(list(tmp_path.glob("*.npy"))) == 1
+
+
+@given(
+    st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=40),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_store_matches_dict_semantics(write_rounds):
+    """A sequence of overwriting batch writes == last-writer-wins dict."""
+    store = FileStore(1, file_capacity=3)
+    expected: dict[int, float] = {}
+    for round_ in write_rounds:
+        keys = keys_of(sorted(round_))
+        vals = np.array([[round_[int(k)]] for k in keys], dtype=np.float32)
+        store.write(keys, vals)
+        expected.update({int(k): float(v) for k, v in zip(keys, vals[:, 0])})
+        store.check_invariants()
+    keys = keys_of(sorted(expected))
+    r = store.read(keys)
+    assert r.found.all()
+    assert [round(float(x), 3) for x in r.values[:, 0]] == [
+        round(expected[int(k)], 3) for k in keys
+    ]

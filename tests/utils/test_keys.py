@@ -1,0 +1,123 @@
+"""Unit and property tests for key utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.keys import (
+    EMPTY_KEY,
+    KEY_DTYPE,
+    as_keys,
+    mix_hash,
+    splitmix64,
+    unique_keys,
+)
+
+
+class TestAsKeys:
+    def test_list_coerced_to_uint64(self):
+        out = as_keys([1, 2, 3])
+        assert out.dtype == KEY_DTYPE
+        assert out.tolist() == [1, 2, 3]
+
+    def test_empty_input(self):
+        out = as_keys([])
+        assert out.dtype == KEY_DTYPE
+        assert out.size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_keys([-1, 2])
+
+    def test_float_rejected(self):
+        with pytest.raises(ValueError, match="float"):
+            as_keys(np.array([1.5, 2.0]))
+
+    def test_uint64_passthrough_values(self):
+        big = np.array([2**63 + 5], dtype=np.uint64)
+        assert as_keys(big)[0] == 2**63 + 5
+
+    def test_int32_input(self):
+        out = as_keys(np.array([7, 8], dtype=np.int32))
+        assert out.dtype == KEY_DTYPE
+
+    def test_result_contiguous(self):
+        arr = np.arange(10, dtype=np.uint64)[::2]
+        assert as_keys(arr).flags["C_CONTIGUOUS"]
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_no_collisions_on_sequential_input(self):
+        x = np.arange(100_000, dtype=np.uint64)
+        assert np.unique(splitmix64(x)).size == x.size
+
+    def test_input_not_mutated(self):
+        x = np.arange(10, dtype=np.uint64)
+        before = x.copy()
+        splitmix64(x)
+        assert np.array_equal(x, before)
+
+    def test_avalanche_single_bit(self):
+        a = splitmix64(np.array([0], dtype=np.uint64))[0]
+        b = splitmix64(np.array([1], dtype=np.uint64))[0]
+        diff_bits = bin(int(a) ^ int(b)).count("1")
+        assert diff_bits > 16  # a decent mixer flips ~32 of 64
+
+    def test_distribution_roughly_uniform(self):
+        x = np.arange(10_000, dtype=np.uint64)
+        h = splitmix64(x)
+        # High bit should be ~50/50.
+        frac = np.mean((h >> np.uint64(63)).astype(float))
+        assert 0.45 < frac < 0.55
+
+
+class TestMixHash:
+    def test_seed_changes_output(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(mix_hash(x, seed=1), mix_hash(x, seed=2))
+
+    def test_seed_zero_equals_plain_splitmix(self):
+        x = np.arange(50, dtype=np.uint64)
+        assert np.array_equal(mix_hash(x, seed=0), splitmix64(x))
+
+
+class TestUniqueKeys:
+    def test_union_of_arrays(self):
+        out = unique_keys([3, 1], [2, 3], [1])
+        assert out.tolist() == [1, 2, 3]
+
+    def test_empty_args(self):
+        assert unique_keys().size == 0
+
+    def test_all_empty_arrays(self):
+        assert unique_keys([], []).size == 0
+
+    def test_sorted_output(self):
+        out = unique_keys([5, 1, 9, 1])
+        assert np.all(np.diff(out.astype(np.int64)) > 0)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**64 - 2), max_size=200),
+    st.lists(st.integers(min_value=0, max_value=2**64 - 2), max_size=200),
+)
+@settings(max_examples=50, deadline=None)
+def test_unique_keys_matches_python_set(a, b):
+    out = unique_keys(np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64))
+    assert set(out.tolist()) == set(a) | set(b)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_splitmix_is_injective_on_sample(xs):
+    arr = np.array(sorted(set(xs)), dtype=np.uint64)
+    assert np.unique(splitmix64(arr)).size == arr.size
+
+
+def test_empty_key_sentinel_is_max_uint64():
+    assert int(EMPTY_KEY) == 2**64 - 1
