@@ -8,7 +8,6 @@ losslessness check against the single-store reference trainer.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.bench.report import format_table
 from repro.config import ClusterConfig, ModelSpec

@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.config import ModelSpec
 from repro.core.trainer import ReferenceTrainer
-from repro.hardware.gpu import dense_flops_per_example
 from repro.hardware.network import Network
 from repro.hardware.specs import CPUSpec, HDFSSpec, NetworkSpec
 from repro.utils.stats import expected_unique_zipf
@@ -163,8 +162,10 @@ class MPIClusterBaseline(ReferenceTrainer):
 
     The MPI solution is algorithmically the classic BSP data-parallel
     parameter server, which on identical data order computes identical
-    updates to our reference trainer — so it reuses that implementation and
-    attaches the :class:`MPITimingModel` for throughput accounting.
+    updates to our reference trainer — so it reuses that implementation
+    (and with it the vectorized :class:`~repro.store.flat.FlatStore`
+    parameter shard) and attaches the :class:`MPITimingModel` for
+    throughput accounting.
     """
 
     def __init__(self, *args, n_mpi_nodes: int | None = None, **kwargs):

@@ -25,9 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import ModelSpec
-from repro.hardware.gpu import dense_flops_per_example
 from repro.hardware.specs import NodeHardware, default_node_hardware
-from repro.utils.stats import expected_overlap_fraction, expected_unique_zipf
+from repro.utils.stats import expected_unique_zipf
 
 __all__ = ["AnalyticalHPS", "HPSBatchTime"]
 

@@ -16,8 +16,6 @@ Two kinds of experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.baselines.mpi_ps import MPITimingModel

@@ -7,7 +7,7 @@ describes the simulated deployment (nodes, GPUs per node, batch sharding).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "ModelSpec",

@@ -23,7 +23,7 @@ plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -32,11 +32,7 @@ from repro.data.batching import Batch
 from repro.data.generator import CTRDataGenerator
 from repro.hardware.gpu import dense_flops_per_example
 from repro.hardware.specs import NodeHardware
-from repro.hbm.allreduce import (
-    SparseUpdate,
-    allreduce_dense,
-    hierarchical_allreduce,
-)
+from repro.hbm.allreduce import allreduce_dense, hierarchical_allreduce
 from repro.core.node import HPSNode
 from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
 from repro.utils.keys import as_keys
@@ -320,14 +316,9 @@ class HPSCluster:
             if idx.size == 0:
                 continue
             mem = node.mem_ps
-            for j in idx:
-                k = int(keys[j])
-                v = mem.cache.lru.peek(k)
-                if v is None:
-                    v = mem.cache.lfu._data.get(k)
-                if v is not None:
-                    values[j] = v
-                    found_any[j] = True
+            vals, found = mem.cache.peek_batch(keys[idx])
+            values[idx[found]] = vals[found]
+            found_any[idx[found]] = True
             miss = idx[~found_any[idx]]
             if miss.size:
                 result = node.ssd_ps.store.read(keys[miss])

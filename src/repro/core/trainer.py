@@ -21,10 +21,10 @@ from repro.config import ClusterConfig, ModelSpec
 from repro.core.cluster import BatchStats, HPSCluster
 from repro.data.batching import Batch
 from repro.data.generator import CTRDataGenerator
-from repro.hardware.gpu import dense_flops_per_example
 from repro.nn.metrics import auc
 from repro.nn.model import CTRModel
 from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
+from repro.store.flat import FlatStore
 from repro.utils.keys import as_keys
 from repro.utils.rng import derive_seed
 
@@ -93,7 +93,8 @@ class ReferenceTrainer:
     (node, GPU) mini-batch contributes a gradient; per-node contributions
     are first reduced in float32 (as the HBM gradient buffer does), then
     summed across nodes in float64 (as the all-reduce does) — against one
-    flat dict-backed parameter store.
+    flat batch-first parameter store
+    (:class:`~repro.store.flat.FlatStore`).
     """
 
     def __init__(
@@ -121,34 +122,25 @@ class ReferenceTrainer:
             model_spec, seed=derive_seed(cluster_config.seed, "dense")
         )
         self.dense_optimizer = DenseAdagrad(lr=0.05)
-        self._store: dict[int, np.ndarray] = {}
+        self._store = FlatStore(self.optimizer.value_dim)
         self._init_seed = cluster_config.seed
         self.rounds_completed = 0
 
     # ------------------------------------------------------------------
     def _fetch(self, keys: np.ndarray) -> np.ndarray:
         keys = as_keys(keys)
-        out = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
-        missing = []
-        for i, k in enumerate(keys):
-            v = self._store.get(int(k))
-            if v is None:
-                missing.append(i)
-            else:
-                out[i] = v
-        if missing:
-            idx = np.asarray(missing)
-            fresh = self.optimizer.init_for_keys(keys[idx], seed=self._init_seed)
-            out[idx] = fresh
-            for j, i in enumerate(idx):
-                self._store[int(keys[i])] = fresh[j].copy()
+        out, found = self._store.get_batch(keys)
+        miss = ~found
+        if miss.any():
+            fresh = self.optimizer.init_for_keys(keys[miss], seed=self._init_seed)
+            out[miss] = fresh
+            self._store.put_batch(keys[miss], fresh)
         return out
 
     def _apply(self, keys: np.ndarray, grads: np.ndarray) -> None:
         values = self._fetch(keys)
         new_values = self.optimizer.apply(values, grads)
-        for i, k in enumerate(keys):
-            self._store[int(k)] = new_values[i]
+        self._store.put_batch(keys, new_values)
 
     # ------------------------------------------------------------------
     def train_round(self) -> float:
@@ -168,7 +160,12 @@ class ReferenceTrainer:
             global_grads: np.ndarray | None = None
             dense_sum: list[np.ndarray] | None = None
             for node_shards in shards:
-                node_buf: dict[int, np.ndarray] = {}
+                # Per-node float32 gradient buffer: keys/grads of every
+                # GPU's mini-batch, merged by key in arrival order (the
+                # HBM buffer's accumulation order, kept bit-exact by
+                # ``np.add.at``'s unbuffered left-to-right semantics).
+                gpu_keys: list[np.ndarray] = []
+                gpu_grads: list[np.ndarray] = []
                 dense_acc: list[np.ndarray] | None = None
                 for gpu in range(n_gpus):
                     mb = node_shards[m * n_gpus + gpu]
@@ -178,13 +175,8 @@ class ReferenceTrainer:
                     emb = self.optimizer.embedding(self._fetch(mb_keys))
                     result = self.model.train_minibatch(mb, mb_keys, emb)
                     sg = result.sparse_grad
-                    g32 = sg.grads.astype(np.float32)
-                    for i, k in enumerate(sg.keys):
-                        ki = int(k)
-                        if ki in node_buf:
-                            node_buf[ki] = node_buf[ki] + g32[i]
-                        else:
-                            node_buf[ki] = g32[i].copy()
+                    gpu_keys.append(as_keys(sg.keys))
+                    gpu_grads.append(sg.grads.astype(np.float32))
                     losses.append(result.loss)
                     grads = self.model.mlp.gradients()
                     if dense_acc is None:
@@ -192,9 +184,15 @@ class ReferenceTrainer:
                     else:
                         for a, g in zip(dense_acc, grads):
                             a += g
-                if node_buf:
-                    nk = as_keys(sorted(node_buf))
-                    ng = np.stack([node_buf[int(k)] for k in nk]).astype(np.float64)
+                if gpu_keys:
+                    cat_keys = np.concatenate(gpu_keys)
+                    cat_grads = np.concatenate(gpu_grads, axis=0)
+                    nk, inv = np.unique(cat_keys, return_inverse=True)
+                    buf32 = np.zeros(
+                        (nk.size, cat_grads.shape[1]), dtype=np.float32
+                    )
+                    np.add.at(buf32, inv, cat_grads)
+                    ng = buf32.astype(np.float64)
                     if global_keys is None:
                         global_keys, global_grads = nk, ng
                     else:
@@ -228,15 +226,13 @@ class ReferenceTrainer:
     # ------------------------------------------------------------------
     def predict(self, batch: Batch) -> np.ndarray:
         keys = batch.unique_keys()
-        values = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
-        for i, k in enumerate(keys):
-            v = self._store.get(int(k))
-            values[i] = (
-                v
-                if v is not None
-                else self.optimizer.init_for_keys(
-                    keys[i : i + 1], seed=self._init_seed
-                )[0]
+        values, found = self._store.get_batch(keys)
+        miss = ~found
+        if miss.any():
+            # Never-seen keys evaluate at their deterministic init without
+            # being persisted (mirrors the cluster's read-only lookup).
+            values[miss] = self.optimizer.init_for_keys(
+                keys[miss], seed=self._init_seed
             )
         emb = self.optimizer.embedding(values)
         return self.model.predict_proba(batch, keys, emb)

@@ -9,7 +9,7 @@ benchmarks aggregate them into the paper's per-stage decompositions.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 __all__ = ["CostLedger", "Cost"]

@@ -19,7 +19,7 @@ from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import GPUSpec, NVLinkSpec
 from repro.hbm.hash_table import HashTable
 from repro.hbm.partition import ModuloPartitioner
-from repro.utils.keys import as_keys
+from repro.utils.keys import KEY_DTYPE, as_keys
 
 __all__ = ["DistributedHashTable"]
 
@@ -176,6 +176,35 @@ class DistributedHashTable:
                 t, self.devices[gpu].table_op(k.size, self._value_bytes(), "hbm_push")
             )
         return t
+
+    # ------------------------------------------------------------------
+    # ParameterStore protocol (functional surface: no NVLink/ledger
+    # charges — workers account data movement through get/accumulate).
+    # ------------------------------------------------------------------
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values + found mask across all GPU partitions."""
+        keys = as_keys(keys)
+        out = np.zeros((keys.size, self.value_dim), dtype=np.float32)
+        found = np.zeros(keys.size, dtype=bool)
+        parts = self.partitioner.split(keys, np.arange(keys.size))
+        for gpu, (k, idx) in enumerate(parts):
+            if k.size == 0:
+                continue
+            vals, ok = self.tables[gpu].get(k)
+            out[idx] = vals
+            found[idx] = ok
+        return out, found
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Protocol face of :meth:`insert`; working-set tables never
+        evict, so the flush pair is always empty."""
+        self.insert(keys, values)
+        return (
+            np.zeros(0, dtype=KEY_DTYPE),
+            np.zeros((0, self.value_dim), dtype=np.float32),
+        )
 
     # ------------------------------------------------------------------
     def contains(self, keys: np.ndarray) -> np.ndarray:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.keys import EMPTY_KEY, KEY_DTYPE, as_keys, mix_hash
+from repro.utils.keys import EMPTY_KEY, KEY_DTYPE, all_unique, as_keys, mix_hash
 
 __all__ = ["HashTable"]
 
@@ -95,7 +95,7 @@ class HashTable:
             raise ValueError("values shape mismatch")
         if keys.size == 0:
             return
-        if np.unique(keys).size != keys.size:
+        if not all_unique(keys):
             raise ValueError("insert requires unique keys")
         base = self._base_slots(keys)
         pending = np.arange(keys.size)
@@ -193,6 +193,24 @@ class HashTable:
             missing = keys[~found][:5]
             raise KeyError(f"transform on absent keys, e.g. {missing.tolist()}")
         self._values[slots] = np.asarray(fn(self._values[slots]), dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # ParameterStore protocol aliases.
+    # ------------------------------------------------------------------
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Protocol alias of :meth:`get` (values + found mask)."""
+        return self.get(keys)
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Protocol face of :meth:`insert`; a fixed-capacity working-set
+        table never evicts (it raises when full), so flushes are empty."""
+        self.insert(keys, values)
+        return (
+            np.zeros(0, dtype=KEY_DTYPE),
+            np.zeros((0, self.value_dim), dtype=np.float32),
+        )
 
     # ------------------------------------------------------------------
     def contains(self, keys: np.ndarray) -> np.ndarray:

@@ -6,19 +6,42 @@ evictions must be flushed to the SSD before their memory is released.
 Working parameters of in-flight batches are **pinned** in the LRU and
 cannot be evicted until their batch completes (pipeline integrity).
 
+Storage is batch-first (the :class:`~repro.store.ParameterStore`
+protocol): values live in a preallocated ``(capacity, value_dim)``
+float32 slab with parallel NumPy key/recency/frequency/pin arrays, keys
+resolve to slab rows through a vectorized open-addressing
+:class:`~repro.store.SlotIndex`, and eviction selects victims with
+``argpartition`` over the recency/priority arrays.  Batched operations
+are **sequential-equivalent**: ``get_batch``/``put_batch`` produce the
+same eviction order, flush pairs, and statistics as the per-key loop the
+seed implementation ran (``repro.store.reference`` keeps that
+implementation as the parity oracle).  The rare interleavings a bulk
+plan cannot reproduce — duplicate keys in one batch, a batch key sitting
+inside the eviction range — are detected up front and routed through the
+exact per-key path.
+
 :class:`LRUCache` and :class:`LFUCache` are also usable standalone — the
 cache-policy ablation benchmark compares them against the combined policy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.keys import as_keys
+from repro.store.slot_index import SlotIndex
+from repro.utils.keys import EMPTY_KEY, KEY_DTYPE, all_unique, as_keys, mix_hash
 
 __all__ = ["LRUCache", "LFUCache", "CombinedCache", "CacheStats"]
+
+#: Order sentinel for free slots — sorts after every live tick/priority.
+_FAR = np.int64(2**62)
+
+_PINNED_MSG = (
+    "cache over capacity with all residents pinned — the pinned "
+    "working set must fit in memory (paper Section 5)"
+)
 
 
 @dataclass
@@ -41,123 +64,462 @@ class CacheStats:
         self.misses = 0
 
 
-class LRUCache:
-    """Least-recently-used cache with pin support.
+def _empty_pairs(dim: int) -> tuple[np.ndarray, np.ndarray]:
+    return as_keys([]), np.zeros((0, dim), dtype=np.float32)
 
-    Backed by Python's insertion-ordered dict: a touch re-inserts the key
-    at the back; eviction pops from the front, skipping pinned keys.
+
+def _as_pairs(pairs: list, dim: int) -> tuple[np.ndarray, np.ndarray]:
+    if not pairs:
+        return _empty_pairs(dim)
+    fk = as_keys([k for k, _ in pairs])
+    fv = np.stack([v for _, v in pairs]).astype(np.float32)
+    return fk, fv
+
+
+class _SlabCache:
+    """Shared slab plumbing for the LRU and LFU tiers.
+
+    A fixed pool of ``capacity`` rows; ``_index`` maps keys to rows,
+    ``_free`` is a stack of unused rows.  Subclasses add the replacement
+    metadata (recency ticks / frequency+tick priorities).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, value_dim: int | None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._data: dict[int, np.ndarray] = {}
-        self._pinned: set[int] = set()
+        self.value_dim = value_dim
+        self._index = SlotIndex(capacity)
+        self._keys = np.full(capacity, EMPTY_KEY, dtype=KEY_DTYPE)
+        self._values: np.ndarray | None = None
+        if value_dim is not None:
+            self._bind_dim(value_dim)
+        self._free = np.arange(capacity - 1, -1, -1, dtype=np.int64)
+        self._n_free = capacity
+        self._now = 0
+
+    def _bind_dim(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("value_dim must be positive")
+        self.value_dim = dim
+        self._values = np.zeros((self.capacity, dim), dtype=np.float32)
+
+    def _coerce_value(self, value) -> np.ndarray:
+        v = np.asarray(value, dtype=np.float32).reshape(-1)
+        if self._values is None:
+            self._bind_dim(v.size)
+        elif v.size != self.value_dim:
+            raise ValueError("value size mismatch")
+        return v
+
+    def _coerce_values(self, keys: np.ndarray, values) -> np.ndarray:
+        v = np.asarray(values, dtype=np.float32)
+        if v.ndim != 2 or v.shape[0] != keys.size:
+            raise ValueError("values shape mismatch")
+        if self._values is None:
+            self._bind_dim(v.shape[1])
+        elif v.shape[1] != self.value_dim:
+            raise ValueError("values shape mismatch")
+        return v
+
+    def _alloc(self, n: int) -> np.ndarray:
+        if n > self._n_free:
+            raise RuntimeError("slab out of rows (eviction planning bug)")
+        self._n_free -= n
+        return self._free[self._n_free : self._n_free + n].copy()
+
+    def _release(self, slots: np.ndarray) -> None:
+        n = slots.size
+        self._free[self._n_free : self._n_free + n] = slots
+        self._n_free += n
+
+    def _ticks(self, n: int) -> np.ndarray:
+        out = np.arange(self._now + 1, self._now + 1 + n, dtype=np.int64)
+        self._now += n
+        return out
+
+    @property
+    def size(self) -> int:
+        return self.capacity - self._n_free
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self.size
 
     def __contains__(self, key: int) -> bool:
-        return key in self._data
+        return self._index.get1(int(key)) >= 0
 
+    def _dim_or_zero(self) -> int:
+        return self.value_dim if self.value_dim is not None else 0
+
+    def _items_in_order(self, order_key: np.ndarray):
+        """Resident ``(slots, keys)`` sorted by ``order_key`` per slot."""
+        occupied = np.flatnonzero(self._keys != EMPTY_KEY)
+        occupied = occupied[np.argsort(order_key[occupied], kind="stable")]
+        return occupied, self._keys[occupied]
+
+    def contains(self, keys) -> np.ndarray | bool:
+        if np.isscalar(keys) or isinstance(keys, (int, np.integer)):
+            return int(keys) in self
+        _, found = self._index.get(as_keys(keys))
+        return found
+
+    def transform(self, keys: np.ndarray, fn) -> None:
+        """Apply ``new = fn(old)`` to resident ``keys`` (must all be
+        resident, matching the HBM tier's contract)."""
+        keys = as_keys(keys)
+        if keys.size == 0:
+            return
+        slots, found = self._index.get(keys)
+        if not np.all(found):
+            missing = keys[~found][:5]
+            raise KeyError(f"transform on absent keys, e.g. {missing.tolist()}")
+        self._values[slots] = np.asarray(
+            fn(self._values[slots]), dtype=np.float32
+        )
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All resident ``(keys, values)``, sorted by key."""
+        occupied = np.flatnonzero(self._keys != EMPTY_KEY)
+        keys = self._keys[occupied]
+        order = np.argsort(keys)
+        if self._values is None:
+            return keys[order], np.zeros((keys.size, 0), dtype=np.float32)
+        return keys[order], self._values[occupied[order]].copy()
+
+
+class LRUCache(_SlabCache):
+    """Least-recently-used cache with pin support.
+
+    Recency is a monotone per-slot tick: a touch rewrites the slot's
+    tick; eviction takes the smallest ticks among unpinned residents
+    (``argpartition``), skipping pinned rows exactly as the seed dict
+    scan did.
+    """
+
+    def __init__(self, capacity: int, *, value_dim: int | None = None) -> None:
+        super().__init__(capacity, value_dim)
+        self._tick = np.full(capacity, _FAR, dtype=np.int64)
+        self._pinned = np.zeros(capacity, dtype=bool)
+
+    # -- single-key API (exact seed semantics) --------------------------
     def get(self, key: int) -> np.ndarray | None:
         """Value for ``key`` (refreshing its recency), or None."""
-        val = self._data.pop(key, None)
-        if val is None:
+        slot = self._index.get1(int(key))
+        if slot < 0:
             return None
-        self._data[key] = val
-        return val
+        self._now += 1
+        self._tick[slot] = self._now
+        return self._values[slot].copy()
 
     def peek(self, key: int) -> np.ndarray | None:
         """Value without touching recency."""
-        return self._data.get(key)
+        slot = self._index.get1(int(key))
+        if slot < 0:
+            return None
+        return self._values[slot].copy()
+
+    def _eviction_order_key(self) -> np.ndarray:
+        """Per-slot sort key: recency tick, pinned/free pushed to +inf."""
+        return np.where(self._pinned, _FAR, self._tick)
+
+    def _oldest_unpinned_slot(self) -> int:
+        order = self._eviction_order_key()
+        slot = int(np.argmin(order))
+        return slot if order[slot] < _FAR else -1
+
+    def _remove_slot(self, slot: int) -> None:
+        self._index.remove1(int(self._keys[slot]))
+        self._keys[slot] = EMPTY_KEY
+        self._tick[slot] = _FAR
+        self._pinned[slot] = False
+        self._release(np.array([slot], dtype=np.int64))
+
+    def _remove_slots(self, slots: np.ndarray) -> None:
+        if slots.size == 0:
+            return
+        self._index.remove(self._keys[slots])
+        self._keys[slots] = EMPTY_KEY
+        self._tick[slots] = _FAR
+        self._pinned[slots] = False
+        self._release(slots)
+
+    def _insert_slot(self, key: int, value: np.ndarray, pin: bool) -> int:
+        slot = int(self._alloc(1)[0])
+        self._keys[slot] = np.uint64(key)
+        self._values[slot] = value
+        self._now += 1
+        self._tick[slot] = self._now
+        self._pinned[slot] = pin
+        self._index.set1(int(key), slot)
+        return slot
 
     def put(self, key: int, value: np.ndarray, *, pin: bool = False) -> list:
         """Insert/overwrite ``key``; returns evicted ``(key, value)`` pairs."""
-        self._data.pop(key, None)
-        self._data[key] = value
-        if pin:
-            self._pinned.add(key)
-        return self.evict_overflow()
+        key = int(key)
+        v = self._coerce_value(value)
+        slot = self._index.get1(key)
+        if slot >= 0:
+            self._values[slot] = v
+            self._now += 1
+            self._tick[slot] = self._now
+            if pin:
+                self._pinned[slot] = True
+            return []
+        evicted = []
+        if self.size >= self.capacity:
+            vslot = self._oldest_unpinned_slot()
+            if vslot < 0:
+                if pin:
+                    raise RuntimeError(_PINNED_MSG)
+                # Everything resident is pinned: the seed scan reached the
+                # freshly inserted (unpinned) key and evicted it again.
+                return [(key, v.copy())]
+            evicted.append((int(self._keys[vslot]), self._values[vslot].copy()))
+            self._remove_slot(vslot)
+        self._insert_slot(key, v, pin)
+        return evicted
 
     def evict_overflow(self) -> list:
         """Evict unpinned keys (oldest first) until within capacity."""
-        evicted = []
-        if len(self._data) <= self.capacity:
-            return evicted
-        # Scan in recency order; pinned keys are skipped but retained.
-        for key in list(self._data):
-            if len(self._data) - len(evicted) <= self.capacity:
-                break
-            if key in self._pinned:
-                continue
-            evicted.append((key, self._data[key]))
-        for key, _ in evicted:
-            del self._data[key]
-        if len(self._data) > self.capacity:
-            raise RuntimeError(
-                "cache over capacity with all residents pinned — the pinned "
-                "working set must fit in memory (paper Section 5)"
-            )
+        overflow = self.size - self.capacity
+        if overflow <= 0:
+            return []
+        slots = self._select_evictions(overflow)
+        if slots.size < overflow:
+            raise RuntimeError(_PINNED_MSG)
+        evicted = [
+            (int(self._keys[s]), self._values[s].copy()) for s in slots
+        ]
+        self._remove_slots(slots)
         return evicted
 
+    def _select_evictions(self, n: int) -> np.ndarray:
+        """Up to ``n`` unpinned resident slots, oldest tick first."""
+        order = self._eviction_order_key()
+        n = min(n, order.size)
+        cand = np.argpartition(order, n - 1)[:n] if n < order.size else (
+            np.arange(order.size)
+        )
+        cand = cand[order[cand] < _FAR]
+        return cand[np.argsort(order[cand], kind="stable")]
+
     def pin(self, key: int) -> None:
-        if key not in self._data:
+        slot = self._index.get1(int(key))
+        if slot < 0:
             raise KeyError(f"cannot pin absent key {key}")
-        self._pinned.add(key)
+        self._pinned[slot] = True
 
     def unpin(self, key: int) -> None:
-        self._pinned.discard(key)
+        slot = self._index.get1(int(key))
+        if slot >= 0:
+            self._pinned[slot] = False
+
+    def pin_batch(self, keys: np.ndarray) -> None:
+        keys = as_keys(keys)
+        slots, found = self._index.get(keys)
+        if not np.all(found):
+            raise KeyError(
+                f"cannot pin absent key {int(keys[~found][0])}"
+            )
+        self._pinned[slots] = True
+
+    def unpin_batch(self, keys: np.ndarray) -> None:
+        slots, found = self._index.get(as_keys(keys))
+        self._pinned[slots[found]] = False
 
     def pinned_count(self) -> int:
-        return len(self._pinned)
+        return int(self._pinned.sum())
 
     def keys(self) -> list[int]:
-        return list(self._data)
+        _, keys = self._items_in_order(self._tick)
+        return keys.tolist()
+
+    # -- batched API ----------------------------------------------------
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values + found mask; refreshes recency of every hit."""
+        keys = as_keys(keys)
+        values = np.zeros((keys.size, self._dim_or_zero()), dtype=np.float32)
+        if keys.size == 0:
+            return values, np.zeros(0, dtype=bool)
+        slots, found = self._index.get(keys)
+        hit_slots = slots[found]
+        if hit_slots.size:
+            values[found] = self._values[hit_slots]
+            self._tick[hit_slots] = self._ticks(hit_slots.size)
+        return values, found
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray, *, pin: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Insert/overwrite many keys; returns evicted ``(keys, values)``.
+
+        Sequential-equivalent to per-key :meth:`put` calls in batch
+        order; batches the bulk plan cannot reproduce exactly fall back
+        to that loop.
+        """
+        keys = as_keys(keys)
+        vals = self._coerce_values(keys, values)
+        if keys.size == 0:
+            return _empty_pairs(self._dim_or_zero())
+        hashes = mix_hash(keys)
+        rows, resident, hints = self._index.locate(keys, hashes)
+        plan = self._plan_put(keys, vals, pin, located=(rows, resident))
+        if plan is None:
+            pairs = []
+            for i in range(keys.size):
+                pairs.extend(self.put(int(keys[i]), vals[i], pin=pin))
+            return _as_pairs(pairs, self.value_dim)
+        ek, ev, _, _, _ = self._apply_put(plan, hashes, hints)
+        return ek, ev
+
+    # -- bulk planning (shared with CombinedCache) ----------------------
+    def _plan_put(
+        self, keys: np.ndarray, vals: np.ndarray, pin: bool, located=None
+    ):
+        """Plan a sequential-equivalent bulk insert, or None → fall back.
+
+        The plan is exact when keys are unique and no already-resident
+        batch key sits inside the eviction range (sequentially it would
+        be evicted with its *old* value before its own turn refreshed it).
+        ``located`` short-circuits the index lookup when the caller
+        already holds ``(slots, resident)``.
+        """
+        if not all_unique(keys):
+            return None
+        slots, resident = located if located is not None else self._index.get(keys)
+        n_new = int((~resident).sum())
+        overflow = max(0, self.size + n_new - self.capacity)
+        old_sel = np.empty(0, dtype=np.int64)
+        spill = np.empty(0, dtype=np.int64)
+        if overflow:
+            old_sel = self._select_evictions(overflow)
+            if np.isin(old_sel, slots[resident]).any():
+                return None
+            if old_sel.size < overflow:
+                # Unpinned-resident supply runs out mid-batch: the
+                # earliest eligible batch positions are themselves
+                # evicted, exactly as the seed scan reached them.
+                if pin:
+                    raise RuntimeError(_PINNED_MSG)
+                eligible = np.flatnonzero(
+                    ~(resident & self._pinned[np.where(resident, slots, 0)])
+                )
+                extra = overflow - old_sel.size
+                if eligible.size < extra:
+                    raise RuntimeError(_PINNED_MSG)
+                spill = eligible[:extra]
+        return keys, vals, pin, slots, resident, old_sel, spill
+
+    def _apply_put(
+        self,
+        plan,
+        hashes: np.ndarray | None = None,
+        hints: np.ndarray | None = None,
+    ):
+        """Execute a bulk-put plan.
+
+        Returns ``(evicted_keys, evicted_values, spill_positions,
+        new_positions, new_rows)`` with evictions in sequential order:
+        previously-resident victims by recency, then batch positions
+        spilled from the insert stream.  ``new_positions``/``new_rows``
+        report where freshly inserted batch keys landed, so the owner can
+        write aligned per-slot metadata without another index lookup.
+        """
+        keys, vals, pin, slots, resident, old_sel, spill = plan
+        n = keys.size
+        ev_keys = [self._keys[old_sel], keys[spill]]
+        ev_vals = [
+            self._values[old_sel].copy()
+            if old_sel.size
+            else np.zeros((0, self.value_dim), dtype=np.float32),
+            vals[spill],
+        ]
+        self._remove_slots(old_sel)
+        ticks = self._ticks(n)
+        # Refresh already-resident batch keys in place.
+        res_slots = slots[resident]
+        if res_slots.size:
+            self._values[res_slots] = vals[resident]
+            self._tick[res_slots] = ticks[resident]
+            if pin:
+                self._pinned[res_slots] = True
+        # Drop spilled positions (resident ones leave, new ones never land).
+        new_idx = np.flatnonzero(~resident)
+        if spill.size:
+            self._remove_slots(slots[spill][resident[spill]])
+            new_idx = new_idx[~np.isin(new_idx, spill)]
+        rows = self._alloc(new_idx.size)
+        if new_idx.size:
+            self._keys[rows] = keys[new_idx]
+            self._values[rows] = vals[new_idx]
+            self._tick[rows] = ticks[new_idx]
+            self._pinned[rows] = pin
+            sub_hashes = hashes[new_idx] if hashes is not None else None
+            if hints is not None:
+                self._index.install(keys[new_idx], rows, hints[new_idx], sub_hashes)
+            else:
+                self._index.set(keys[new_idx], rows, sub_hashes)
+        return (
+            np.concatenate(ev_keys).astype(KEY_DTYPE),
+            np.concatenate(ev_vals, axis=0),
+            spill,
+            new_idx,
+            rows,
+        )
 
 
-class LFUCache:
-    """Least-frequently-used cache (O(1) bucket implementation).
+class LFUCache(_SlabCache):
+    """Least-frequently-used cache over frequency/tick priority arrays.
 
-    Ties within a frequency bucket break least-recently-used first, the
-    standard LFU-with-aging compromise.
+    Eviction takes the minimum frequency, ties broken by the oldest
+    *bucket-entry* tick (the moment the key last changed frequency) —
+    exactly the seed bucket implementation's least-recently-added rule.
     """
 
-    def __init__(self, capacity: int) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self.capacity = capacity
-        self._data: dict[int, np.ndarray] = {}
-        self._freq: dict[int, int] = {}
-        self._buckets: dict[int, dict[int, None]] = {}
-        self._min_freq = 0
+    def __init__(self, capacity: int, *, value_dim: int | None = None) -> None:
+        super().__init__(capacity, value_dim)
+        self._freq = np.full(capacity, _FAR, dtype=np.int64)
+        self._tick = np.full(capacity, _FAR, dtype=np.int64)
 
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __contains__(self, key: int) -> bool:
-        return key in self._data
-
-    def _bump(self, key: int) -> None:
-        f = self._freq[key]
-        bucket = self._buckets[f]
-        del bucket[key]
-        if not bucket:
-            del self._buckets[f]
-            if self._min_freq == f:
-                self._min_freq = f + 1
-        self._freq[key] = f + 1
-        self._buckets.setdefault(f + 1, {})[key] = None
-
+    # -- single-key API (exact seed semantics) --------------------------
     def get(self, key: int) -> np.ndarray | None:
-        if key not in self._data:
+        slot = self._index.get1(int(key))
+        if slot < 0:
             return None
-        self._bump(key)
-        return self._data[key]
+        self._bump_slot(slot)
+        return self._values[slot].copy()
+
+    def _bump_slot(self, slot: int) -> None:
+        self._freq[slot] += 1
+        self._now += 1
+        self._tick[slot] = self._now
 
     def frequency(self, key: int) -> int:
-        return self._freq.get(key, 0)
+        slot = self._index.get1(int(key))
+        return int(self._freq[slot]) if slot >= 0 else 0
+
+    def _victim_slot(self) -> int:
+        fmin = int(self._freq.min())
+        if fmin >= int(_FAR):
+            return -1
+        cand = np.flatnonzero(self._freq == fmin)
+        return int(cand[np.argmin(self._tick[cand])])
+
+    def _remove_slot(self, slot: int) -> None:
+        self._index.remove1(int(self._keys[slot]))
+        self._keys[slot] = EMPTY_KEY
+        self._freq[slot] = _FAR
+        self._tick[slot] = _FAR
+        self._release(np.array([slot], dtype=np.int64))
+
+    def _remove_slots(self, slots: np.ndarray) -> None:
+        if slots.size == 0:
+            return
+        self._index.remove(self._keys[slots])
+        self._keys[slots] = EMPTY_KEY
+        self._freq[slots] = _FAR
+        self._tick[slots] = _FAR
+        self._release(slots)
 
     def put(self, key: int, value: np.ndarray, *, freq: int = 1) -> list:
         """Insert/overwrite; returns evicted ``(key, value)`` pairs.
@@ -168,42 +530,202 @@ class LFUCache:
         """
         if freq < 1:
             raise ValueError("freq must be >= 1")
-        if key in self._data:
-            self._data[key] = value
-            self._bump(key)
+        key = int(key)
+        v = self._coerce_value(value)
+        slot = self._index.get1(key)
+        if slot >= 0:
+            self._values[slot] = v
+            self._bump_slot(slot)
             return []
         evicted = []
-        if len(self._data) >= self.capacity:
-            bucket = self._buckets[self._min_freq]
-            victim = next(iter(bucket))
-            del bucket[victim]
-            if not bucket:
-                del self._buckets[self._min_freq]
-            evicted.append((victim, self._data.pop(victim)))
-            del self._freq[victim]
-        self._data[key] = value
-        self._freq[key] = freq
-        self._buckets.setdefault(freq, {})[key] = None
-        # Bucket count is tiny (distinct frequencies); recomputing the min
-        # keeps the pointer exact across evictions and seeded inserts.
-        self._min_freq = min(self._buckets)
+        if self.size >= self.capacity:
+            vslot = self._victim_slot()
+            evicted.append((int(self._keys[vslot]), self._values[vslot].copy()))
+            self._remove_slot(vslot)
+        row = int(self._alloc(1)[0])
+        self._keys[row] = np.uint64(key)
+        self._values[row] = v
+        self._freq[row] = freq
+        self._now += 1
+        self._tick[row] = self._now
+        self._index.set1(key, row)
         return evicted
 
     def pop(self, key: int) -> np.ndarray | None:
         """Remove ``key`` (promotion back into the LRU tier)."""
-        if key not in self._data:
+        slot = self._index.get1(int(key))
+        if slot < 0:
             return None
-        f = self._freq.pop(key)
-        bucket = self._buckets[f]
-        del bucket[key]
-        if not bucket:
-            del self._buckets[f]
-            if self._min_freq == f:
-                self._min_freq = min(self._buckets) if self._buckets else 0
-        return self._data.pop(key)
+        out = self._values[slot].copy()
+        self._remove_slot(slot)
+        return out
 
     def keys(self) -> list[int]:
-        return list(self._data)
+        _, keys = self._items_in_order(self._tick)
+        return keys.tolist()
+
+    # -- batched API ----------------------------------------------------
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values + found mask; bumps the frequency of every hit."""
+        keys = as_keys(keys)
+        values = np.zeros((keys.size, self._dim_or_zero()), dtype=np.float32)
+        if keys.size == 0:
+            return values, np.zeros(0, dtype=bool)
+        if not all_unique(keys):
+            found = np.zeros(keys.size, dtype=bool)
+            for i in range(keys.size):
+                v = self.get(int(keys[i]))
+                if v is not None:
+                    values[i] = v
+                    found[i] = True
+            return values, found
+        slots, found = self._index.get(keys)
+        hit = slots[found]
+        if hit.size:
+            values[found] = self._values[hit]
+            self._freq[hit] += 1
+            self._tick[hit] = self._ticks(hit.size)
+        return values, found
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray, *, freq: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Insert many keys; returns evicted ``(keys, values)``.
+
+        Fresh unique keys go through the exact bulk eviction plan;
+        overwrites of resident keys fall back to per-key :meth:`put`.
+        """
+        keys = as_keys(keys)
+        vals = self._coerce_values(keys, values)
+        if keys.size == 0:
+            return _empty_pairs(self._dim_or_zero())
+        _, resident = self._index.get(keys)
+        if resident.any() or not all_unique(keys):
+            pairs = []
+            for i in range(keys.size):
+                pairs.extend(self.put(int(keys[i]), vals[i], freq=freq))
+            return _as_pairs(pairs, self.value_dim)
+        freqs = np.full(keys.size, freq, dtype=np.int64)
+        return self.bulk_insert(keys, vals, freqs)
+
+    def bulk_insert(
+        self, keys: np.ndarray, vals: np.ndarray, freqs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sequential-equivalent batch of seeded inserts of *new* keys.
+
+        ``keys`` must be unique and disjoint from current residents (the
+        demotion stream of the combined policy is both by construction).
+        Returns flushed ``(keys, values)`` in eviction order.
+        """
+        m = keys.size
+        if m == 0:
+            return _empty_pairs(self._dim_or_zero())
+        free0 = self.capacity - self.size
+        n_evict = max(0, m - free0)
+        if n_evict == 0:
+            rows = self._alloc(m)
+            self._keys[rows] = keys
+            self._values[rows] = vals
+            self._freq[rows] = freqs
+            self._tick[rows] = self._ticks(m)
+            self._index.set(keys, rows)
+            return _empty_pairs(self.value_dim)
+        # Arrival j (0-based) becomes an eviction candidate once its
+        # insert has happened: eviction slot t (0-based) precedes insert
+        # free0 + t, so arrival j needs slot t >= j - free0 + 1.
+        d_release = np.maximum(0, np.arange(m, dtype=np.int64) - free0 + 1)
+        pool = self._pool_candidates(n_evict)
+        pool_slot, d_slot = _greedy_evictions(
+            self._freq[pool], self._tick[pool], freqs, d_release, n_evict
+        )
+        # Flush list in eviction (slot) order.
+        taken_pool = pool_slot >= 0
+        taken_d = d_slot >= 0
+        fkeys = np.concatenate([self._keys[pool[taken_pool]], keys[taken_d]])
+        fvals = np.concatenate(
+            [self._values[pool[taken_pool]].copy(), vals[taken_d]], axis=0
+        )
+        order = np.argsort(
+            np.concatenate([pool_slot[taken_pool], d_slot[taken_d]]),
+            kind="stable",
+        )
+        self._remove_slots(pool[taken_pool])
+        ticks = self._ticks(m)
+        keep = ~taken_d
+        rows = self._alloc(int(keep.sum()))
+        self._keys[rows] = keys[keep]
+        self._values[rows] = vals[keep]
+        self._freq[rows] = freqs[keep]
+        self._tick[rows] = ticks[keep]
+        self._index.set(keys[keep], rows)
+        return fkeys[order].astype(KEY_DTYPE), fvals[order]
+
+    def _pool_candidates(self, n_evict: int) -> np.ndarray:
+        """Resident slots that could be evicted: the ``n_evict`` smallest
+        by (freq, tick), returned in that priority order."""
+        order_f = self._freq  # _FAR on free slots keeps them out
+        if n_evict < self.size:
+            kth = np.partition(order_f, n_evict - 1)[n_evict - 1]
+            cand = np.flatnonzero(order_f <= kth)
+        else:
+            cand = np.flatnonzero(order_f < _FAR)
+        order = np.lexsort((self._tick[cand], self._freq[cand]))
+        return cand[order][:n_evict]
+
+
+def _greedy_evictions(
+    pool_freq: np.ndarray,
+    pool_tick: np.ndarray,
+    d_freq: np.ndarray,
+    d_release: np.ndarray,
+    n_slots: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact offline solution of the LFU insert/evict stream.
+
+    The sequential process performs ``n_slots`` evictions; eviction ``t``
+    removes the minimum-(freq, tick) item among the initial pool plus the
+    arrivals inserted so far.  That pop-min process is equivalent to the
+    greedy matching: walk all candidates in ascending (freq, tick)
+    priority and give each the earliest free eviction slot at or after
+    its release (pool items release at 0, arrival ``j`` at
+    ``d_release[j]``); candidates left without a slot survive.
+
+    Processing one frequency class at a time keeps everything vectorized:
+    within a class both groups are already priority- and release-ordered
+    (pool ticks all precede arrival ticks; arrivals arrive in tick
+    order), so the earliest-free-slot recurrence collapses to a running
+    maximum over positions found with ``searchsorted``.
+
+    Returns per-candidate eviction slots (-1 = survives).
+    """
+    pool_slot = np.full(pool_freq.size, -1, dtype=np.int64)
+    d_slot = np.full(d_freq.size, -1, dtype=np.int64)
+    avail = np.arange(n_slots, dtype=np.int64)
+    d_eligible = d_release < n_slots
+    for f in np.unique(np.concatenate([pool_freq, d_freq[d_eligible]])):
+        if avail.size == 0:
+            break
+        p_idx = np.flatnonzero(pool_freq == f)
+        d_idx = np.flatnonzero((d_freq == f) & d_eligible)
+        rel = np.concatenate(
+            [np.zeros(p_idx.size, dtype=np.int64), d_release[d_idx]]
+        )
+        if rel.size == 0:
+            continue
+        pos = np.searchsorted(avail, rel, side="left")
+        seq = np.arange(rel.size, dtype=np.int64)
+        assigned = np.maximum.accumulate(pos - seq) + seq
+        ok = assigned < avail.size
+        pool_slot[p_idx[ok[: p_idx.size]]] = avail[
+            assigned[: p_idx.size][ok[: p_idx.size]]
+        ]
+        d_slot[d_idx[ok[p_idx.size :]]] = avail[
+            assigned[p_idx.size :][ok[p_idx.size :]]
+        ]
+        keep = np.ones(avail.size, dtype=bool)
+        keep[assigned[ok]] = False
+        avail = avail[keep]
+    return pool_slot, d_slot
 
 
 class CombinedCache:
@@ -215,6 +737,10 @@ class CombinedCache:
       LFU overflow emits flush candidates (must be written to SSD).
     * Pinned keys live in the LRU tier and are never evicted until
       unpinned.
+
+    Access counts of LRU residents ride in a per-slot array aligned with
+    the LRU slab and seed the LFU frequency on demotion, so demoted hot
+    parameters keep their standing.
     """
 
     def __init__(
@@ -226,13 +752,12 @@ class CombinedCache:
             raise ValueError("lru_fraction must be in (0, 1)")
         lru_cap = max(1, int(capacity * lru_fraction))
         lfu_cap = max(1, capacity - lru_cap)
-        self.lru = LRUCache(lru_cap)
-        self.lfu = LFUCache(lfu_cap)
+        self.lru = LRUCache(lru_cap, value_dim=value_dim)
+        self.lfu = LFUCache(lfu_cap, value_dim=value_dim)
         self.value_dim = value_dim
         self.stats = CacheStats()
-        #: access counts of LRU-tier residents, carried into the LFU tier
-        #: on demotion so hot parameters keep their standing.
-        self._counts: dict[int, int] = {}
+        #: access counts of LRU-tier residents, aligned with LRU slots.
+        self._counts = np.zeros(lru_cap, dtype=np.int64)
         #: flush-outs produced inside :meth:`get` promotions (a getter has
         #: no return channel for them); owners must drain via
         #: :meth:`take_pending_flush` and persist to the SSD-PS.
@@ -246,24 +771,29 @@ class CombinedCache:
         return self.lru.capacity + self.lfu.capacity
 
     # ------------------------------------------------------------------
-    def _demote(self, evicted_from_lru: list) -> list:
-        """Push LRU evictions into the LFU; collect LFU flush-outs."""
-        flushed = []
-        for key, value in evicted_from_lru:
-            flushed.extend(
-                self.lfu.put(key, value, freq=self._counts.pop(key, 1))
-            )
-        for key, _ in flushed:
-            self._counts.pop(key, None)
-        return flushed
+    def _demote_evicted(
+        self, ekeys: np.ndarray, evals: np.ndarray, eslots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Push LRU evictions into the LFU; returns LFU flush-outs.
+
+        ``eslots`` carries each eviction's former LRU slot so its access
+        count can seed the LFU frequency; -1 means the key never occupied
+        a row this batch (evicted straight from the insert stream) and
+        seeds with its fresh count of 1.
+        """
+        freqs = np.where(eslots >= 0, self._counts[eslots], 1)
+        return self.lfu.bulk_insert(ekeys, evals, freqs)
 
     def get(self, key: int) -> np.ndarray | None:
         """Single-key lookup (batch paths should use :meth:`get_batch`)."""
-        val = self.lru.get(key)
-        if val is not None:
+        key = int(key)
+        slot = self.lru._index.get1(key)
+        if slot >= 0:
             self.stats.hits += 1
-            self._counts[key] = self._counts.get(key, 1) + 1
-            return val
+            self._counts[slot] += 1
+            self.lru._now += 1
+            self.lru._tick[slot] = self.lru._now
+            return self.lru._values[slot].copy()
         freq = self.lfu.frequency(key)
         val = self.lfu.pop(key)
         if val is not None:
@@ -271,96 +801,297 @@ class CombinedCache:
             # demotion can flush LFU entries; park them for the owner to
             # persist — dropping them would lose trained parameters.
             self.stats.hits += 1
-            self._counts[key] = freq + 1
-            self._pending_flush.extend(self._demote(self.lru.put(key, val)))
+            self._pending_flush.extend(self._put_single(key, val, freq + 1, False))
             return val
         self.stats.misses += 1
         return None
 
+    def _put_single(
+        self, key: int, value: np.ndarray, count: int, pin: bool
+    ) -> list:
+        """Seed-exact single insert into the LRU with demotion cascade."""
+        lru = self.lru
+        v = lru._coerce_value(value)
+        slot = lru._index.get1(key)
+        if slot >= 0:
+            lru._values[slot] = v
+            lru._now += 1
+            lru._tick[slot] = lru._now
+            if pin:
+                lru._pinned[slot] = True
+            self._counts[slot] = count
+            return []
+        demote = None
+        if lru.size >= lru.capacity:
+            vslot = lru._oldest_unpinned_slot()
+            if vslot < 0:
+                if pin:
+                    raise RuntimeError(_PINNED_MSG)
+                # Seed scan evicts the fresh key itself; it still passes
+                # through the LFU with its fresh access count.
+                return self.lfu.put(key, v, freq=count)
+            demote = (
+                int(lru._keys[vslot]),
+                lru._values[vslot].copy(),
+                int(self._counts[vslot]),
+            )
+            lru._remove_slot(vslot)
+        slot = lru._insert_slot(key, v, pin)
+        self._counts[slot] = count
+        if demote is None:
+            return []
+        return self.lfu.put(demote[0], demote[1], freq=demote[2])
+
     def put(self, key: int, value: np.ndarray, *, pin: bool = False) -> list:
         """Insert a value; returns ``(key, value)`` pairs to flush to SSD."""
-        if key in self.lfu:
-            freq = self.lfu.frequency(key)
+        key = int(key)
+        freq = self.lfu.frequency(key)
+        if freq:
             self.lfu.pop(key)
-            self._counts[key] = freq + 1
+            count = freq + 1
         else:
-            self._counts[key] = self._counts.get(key, 0) + 1
-        evicted = self.lru.put(key, value, pin=pin)
-        return self._demote(evicted)
+            slot = self.lru._index.get1(key)
+            count = (int(self._counts[slot]) if slot >= 0 else 0) + 1
+        return self._put_single(key, value, count, pin)
 
     # ------------------------------------------------------------------
     def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized façade over per-key lookups.
+        """Vectorized batch lookup, sequential-equivalent to :meth:`get`.
 
         Returns ``(values, hit_mask)``; missed rows are zero-filled.
         """
         keys = as_keys(keys)
         values = np.zeros((keys.size, self.value_dim), dtype=np.float32)
         hit = np.zeros(keys.size, dtype=bool)
-        for i, k in enumerate(keys):
-            v = self.get(int(k))
-            if v is not None:
-                values[i] = v
-                hit[i] = True
+        if keys.size == 0:
+            return values, hit
+        lru, lfu = self.lru, self.lfu
+        hashes = mix_hash(keys)
+        plan = None
+        if all_unique(keys):
+            lru_slots, in_lru, lru_hints = lru._index.locate(keys, hashes)
+            lfu_slots, in_lfu = lfu._index.get(keys, hashes)
+            n_promote = int(in_lfu.sum())
+            overflow = max(0, lru.size + n_promote - lru.capacity)
+            old_sel = np.empty(0, dtype=np.int64)
+            if overflow:
+                old_sel = lru._select_evictions(overflow)
+                ok = old_sel.size == overflow and not np.isin(
+                    old_sel, lru_slots[in_lru]
+                ).any()
+            else:
+                ok = True
+            if ok:
+                plan = (lru_slots, in_lru, lfu_slots, in_lfu, old_sel, lru_hints)
+        if plan is None:
+            # Duplicate keys or a batch key inside the eviction range:
+            # replay per key (exact by construction).
+            for i in range(keys.size):
+                v = self.get(int(keys[i]))
+                if v is not None:
+                    values[i] = v
+                    hit[i] = True
+            return values, hit
+        lru_slots, in_lru, lfu_slots, in_lfu, old_sel, lru_hints = plan
+        hit = in_lru | in_lfu
+        self.stats.hits += int(hit.sum())
+        self.stats.misses += int((~hit).sum())
+        values[in_lru] = lru._values[lru_slots[in_lru]]
+        values[in_lfu] = lfu._values[lfu_slots[in_lfu]]
+        # Every hit consumes one recency tick, in batch order.
+        ticks = lru._ticks(int(hit.sum()))
+        tick_of = np.empty(keys.size, dtype=np.int64)
+        tick_of[hit] = ticks
+        res = lru_slots[in_lru]
+        lru._tick[res] = tick_of[in_lru]
+        self._counts[res] += 1
+        if in_lfu.any():
+            promoted_counts = lfu._freq[lfu_slots[in_lfu]] + 1
+            lfu._remove_slots(lfu_slots[in_lfu])
+            if old_sel.size:
+                ekeys = lru._keys[old_sel].copy()
+                evals = lru._values[old_sel].copy()
+                efreqs = self._counts[old_sel].copy()
+                lru._remove_slots(old_sel)
+            rows = lru._alloc(int(in_lfu.sum()))
+            lru._keys[rows] = keys[in_lfu]
+            lru._values[rows] = values[in_lfu]
+            lru._tick[rows] = tick_of[in_lfu]
+            lru._pinned[rows] = False
+            lru._index.install(
+                keys[in_lfu], rows, lru_hints[in_lfu], hashes[in_lfu]
+            )
+            self._counts[rows] = promoted_counts
+            if old_sel.size:
+                # Every promotion freed an LFU row before any demotion
+                # needed one, so the demotions can never flush.
+                fk, _ = self.lfu.bulk_insert(ekeys, evals, efreqs)
+                assert fk.size == 0
         return values, hit
 
     def put_batch(
         self, keys: np.ndarray, values: np.ndarray, *, pin: bool = False
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Insert many values; returns (flush_keys, flush_values)."""
+        """Insert many values; returns (flush_keys, flush_values).
+
+        Sequential-equivalent to per-key :meth:`put` calls in batch
+        order; batches whose interleavings a bulk plan cannot reproduce
+        (duplicate keys, LFU-resident batch keys while the LRU overflows,
+        batch keys inside the eviction range) fall back to that loop.
+        """
+        keys = as_keys(keys)
+        vals = np.asarray(values, dtype=np.float32)
+        if vals.shape != (keys.size, self.value_dim):
+            raise ValueError("values shape mismatch")
+        if keys.size == 0:
+            return _empty_pairs(self.value_dim)
+        lru, lfu = self.lru, self.lfu
+        hashes = mix_hash(keys)
+        lfu_slots, in_lfu = lfu._index.get(keys, hashes)
+        lru_rows, lru_res, lru_hints = lru._index.locate(keys, hashes)
+        located = (lru_rows, lru_res)
+        plan = None
+        overflows = (
+            lru.size + int((~located[1]).sum()) > lru.capacity
+        )
+        if not (in_lfu.any() and overflows):
+            plan = lru._plan_put(keys, vals, pin, located=located)
+        if plan is None:
+            flushed = []
+            for i in range(keys.size):
+                flushed.extend(self.put(int(keys[i]), vals[i], pin=pin))
+            return _as_pairs(flushed, self.value_dim)
+        _, _, _, lru_slots, resident, old_sel, _ = plan
+        # Access counts, exactly as the per-key loop would assign them.
+        counts = np.ones(keys.size, dtype=np.int64)
+        counts[resident] += self._counts[lru_slots[resident]]
+        counts[in_lfu] = lfu._freq[lfu_slots[in_lfu]] + 1
+        lfu._remove_slots(lfu_slots[in_lfu])
+        # Demotion frequency seeds, read before eviction recycles rows.
+        old_freqs = self._counts[old_sel].copy()
+        ekeys, evals, spill, new_idx, new_rows = lru._apply_put(
+            plan, hashes, lru_hints
+        )
+        survived = resident.copy()
+        survived[spill] = False
+        self._counts[lru_slots[survived]] = counts[survived]
+        self._counts[new_rows] = counts[new_idx]
+        # Spilled batch keys carry the count their own put assigned.
+        freqs = np.concatenate([old_freqs, counts[spill]])
+        return self.lfu.bulk_insert(ekeys, evals, freqs)
+
+    def take_pending_flush(self) -> tuple[np.ndarray, np.ndarray]:
+        """Drain flush-outs produced by :meth:`get` promotions."""
+        out = _as_pairs(self._pending_flush, self.value_dim)
+        self._pending_flush.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    def settle_overflow(self) -> tuple[np.ndarray, np.ndarray]:
+        """Evict LRU overflow (after unpinning) through the demotion
+        cascade; returns ``(flush_keys, flush_values)`` for the SSD.
+
+        This is the public face of the end-of-batch settling the MEM-PS
+        runs — callers never touch the tiers directly.
+        """
+        overflow = self.lru.size - self.lru.capacity
+        if overflow <= 0:
+            return _empty_pairs(self.value_dim)
+        slots = self.lru._select_evictions(overflow)
+        if slots.size < overflow:
+            raise RuntimeError(_PINNED_MSG)
+        ekeys = self.lru._keys[slots].copy()
+        evals = self.lru._values[slots].copy()
+        efreqs = self._counts[slots].copy()
+        self.lru._remove_slots(slots)
+        return self.lfu.bulk_insert(ekeys, evals, efreqs)
+
+    def pin_batch(self, keys: np.ndarray) -> None:
+        """Pin resident keys (raises ``KeyError`` on absent ones)."""
+        self.lru.pin_batch(keys)
+
+    def unpin_batch(self, keys: np.ndarray) -> None:
+        self.lru.unpin_batch(keys)
+
+    def update_if_present(self, key: int, value: np.ndarray) -> bool:
+        """Overwrite a resident value without changing recency/frequency."""
+        key = int(key)
+        slot = self.lru._index.get1(key)
+        if slot >= 0:
+            self.lru._values[slot] = np.asarray(value, dtype=np.float32)
+            return True
+        slot = self.lfu._index.get1(key)
+        if slot >= 0:
+            self.lfu._values[slot] = np.asarray(value, dtype=np.float32)
+            return True
+        return False
+
+    def update_batch_if_present(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Batch :meth:`update_if_present`; returns the updated mask."""
         keys = as_keys(keys)
         values = np.asarray(values, dtype=np.float32)
         if values.shape != (keys.size, self.value_dim):
             raise ValueError("values shape mismatch")
-        flushed = []
-        for i, k in enumerate(keys):
-            flushed.extend(self.put(int(k), values[i], pin=pin))
-        if not flushed:
-            return (
-                as_keys([]),
-                np.zeros((0, self.value_dim), dtype=np.float32),
-            )
-        fk = as_keys([k for k, _ in flushed])
-        fv = np.stack([v for _, v in flushed]).astype(np.float32)
-        return fk, fv
+        lru_slots, in_lru = self.lru._index.get(keys)
+        self.lru._values[lru_slots[in_lru]] = values[in_lru]
+        lfu_slots, in_lfu = self.lfu._index.get(keys)
+        in_lfu &= ~in_lru
+        self.lfu._values[lfu_slots[in_lfu]] = values[in_lfu]
+        return in_lru | in_lfu
 
-    def take_pending_flush(self) -> tuple[np.ndarray, np.ndarray]:
-        """Drain flush-outs produced by :meth:`get` promotions."""
-        if not self._pending_flush:
-            return (
-                as_keys([]),
-                np.zeros((0, self.value_dim), dtype=np.float32),
-            )
-        fk = as_keys([k for k, _ in self._pending_flush])
-        fv = np.stack([v for _, v in self._pending_flush]).astype(np.float32)
-        self._pending_flush.clear()
-        return fk, fv
+    def peek_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only batch lookup: no recency, frequency, or stats."""
+        keys = as_keys(keys)
+        values = np.zeros((keys.size, self.value_dim), dtype=np.float32)
+        lru_slots, in_lru = self.lru._index.get(keys)
+        values[in_lru] = self.lru._values[lru_slots[in_lru]]
+        lfu_slots, in_lfu = self.lfu._index.get(keys)
+        in_lfu &= ~in_lru
+        values[in_lfu] = self.lfu._values[lfu_slots[in_lfu]]
+        return values, in_lru | in_lfu
 
-    def unpin_batch(self, keys: np.ndarray) -> None:
-        for k in as_keys(keys):
-            self.lru.unpin(int(k))
+    def contains(self, keys) -> np.ndarray | bool:
+        """Residency of a key (bool) or key array (mask), metadata-neutral."""
+        if np.isscalar(keys) or isinstance(keys, (int, np.integer)):
+            return int(keys) in self.lru or int(keys) in self.lfu
+        keys = as_keys(keys)
+        _, in_lru = self.lru._index.get(keys)
+        _, in_lfu = self.lfu._index.get(keys)
+        return in_lru | in_lfu
 
-    def update_if_present(self, key: int, value: np.ndarray) -> bool:
-        """Overwrite a resident value without changing recency/frequency."""
-        if key in self.lru:
-            self.lru._data[key] = value
-            return True
-        if key in self.lfu:
-            self.lfu._data[key] = value
-            return True
-        return False
+    def transform(self, keys: np.ndarray, fn) -> None:
+        """Apply ``new = fn(old)`` to resident keys across both tiers."""
+        keys = as_keys(keys)
+        if keys.size == 0:
+            return
+        _, in_lru = self.lru._index.get(keys)
+        self.lru.transform(keys[in_lru], fn)
+        self.lfu.transform(keys[~in_lru], fn)
 
-    def contains(self, key: int) -> bool:
-        return key in self.lru or key in self.lfu
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All resident ``(keys, values)`` across tiers, sorted by key."""
+        lk, lv = self.lru.items()
+        fk, fv = self.lfu.items()
+        keys = np.concatenate([lk, fk])
+        values = np.concatenate([lv, fv], axis=0)
+        order = np.argsort(keys)
+        return keys[order], values[order]
 
     def flush_all(self) -> tuple[np.ndarray, np.ndarray]:
         """Drain everything (shutdown / checkpoint path)."""
-        items = [(k, self.lru._data[k]) for k in self.lru.keys()]
-        items += [(k, self.lfu._data[k]) for k in self.lfu.keys()]
-        self.lru = LRUCache(self.lru.capacity)
-        self.lfu = LFUCache(self.lfu.capacity)
-        if not items:
-            return as_keys([]), np.zeros((0, self.value_dim), dtype=np.float32)
-        fk = as_keys([k for k, _ in items])
-        fv = np.stack([v for _, v in items]).astype(np.float32)
-        return fk, fv
+        lru_rows, lru_keys = self.lru._items_in_order(self.lru._tick)
+        lfu_rows, lfu_keys = self.lfu._items_in_order(self.lfu._tick)
+        keys = np.concatenate([lru_keys, lfu_keys]).astype(KEY_DTYPE)
+        if keys.size == 0:
+            values = np.zeros((0, self.value_dim), dtype=np.float32)
+        else:
+            values = np.concatenate(
+                [self.lru._values[lru_rows], self.lfu._values[lfu_rows]],
+                axis=0,
+            ).copy()
+        self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim)
+        self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim)
+        self._counts = np.zeros(self.lru.capacity, dtype=np.int64)
+        return keys, values

@@ -30,7 +30,7 @@ from repro.hbm.partition import ModuloPartitioner
 from repro.mem.cache import CombinedCache
 from repro.nn.optim import SparseOptimizer
 from repro.ssd.ssd_ps import SSDPS
-from repro.utils.keys import as_keys
+from repro.utils.keys import all_unique, as_keys
 from repro.utils.rng import spawn
 
 __all__ = ["MemPS", "PrepareStats"]
@@ -74,6 +74,7 @@ class MemPS:
         network: Network | None = None,
         ledger: CostLedger | None = None,
         seed: int = 0,
+        cache: CombinedCache | None = None,
     ) -> None:
         if not 0 <= node_id < n_nodes:
             raise ValueError("node_id out of range")
@@ -84,7 +85,9 @@ class MemPS:
         self.ledger = ledger if ledger is not None else CostLedger()
         self.network = network
         self.partitioner = ModuloPartitioner(n_nodes, salt=_NODE_SALT)
-        self.cache = CombinedCache(
+        #: any cache speaking the combined-cache surface works here — the
+        #: store microbenchmark injects the seed per-key implementation.
+        self.cache = cache if cache is not None else CombinedCache(
             cache_capacity,
             lru_fraction=lru_fraction,
             value_dim=optimizer.value_dim,
@@ -129,8 +132,7 @@ class MemPS:
             # them otherwise, breaking the in-flight working set.
             # ``get_batch`` promotes LFU hits into the LRU tier, so every
             # hit key is in the LRU by now.
-            for k in keys[hit]:
-                self.cache.lru.pin(int(k))
+            self.cache.pin_batch(keys[hit])
         n_ssd = 0
         n_fresh = 0
         miss_idx = np.flatnonzero(~hit)
@@ -168,7 +170,7 @@ class MemPS:
         the Fig. 4(b) decomposition.
         """
         keys = as_keys(working_keys)
-        if keys.size and np.unique(keys).size != keys.size:
+        if not all_unique(keys):
             raise ValueError("working keys must be unique")
         values = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
         owners = self.owner_of(keys)
@@ -224,16 +226,12 @@ class MemPS:
         keys_own = keys[own]
         vals_own = np.asarray(values, dtype=np.float32)[own]
         seconds = 0.0
-        for i, k in enumerate(keys_own):
-            self.cache.update_if_present(int(k), vals_own[i])
+        self.cache.update_batch_if_present(keys_own, vals_own)
         if unpin:
             self.cache.unpin_batch(keys_own)
             # Unpinning may leave the LRU over capacity; settle it now.
-            overflow = self.cache.lru.evict_overflow()
-            flushed = self.cache._demote(overflow)
-            if flushed:
-                fk = as_keys([k for k, _ in flushed])
-                fv = np.stack([v for _, v in flushed]).astype(np.float32)
+            fk, fv = self.cache.settle_overflow()
+            if fk.size:
                 seconds += self.ssd_ps.dump(fk, fv).total_seconds
         return seconds
 
@@ -265,11 +263,8 @@ class MemPS:
         for keys in self._served_keys:
             self.cache.unpin_batch(keys)
         self._served_keys.clear()
-        overflow = self.cache.lru.evict_overflow()
-        flushed = self.cache._demote(overflow)
-        if flushed:
-            fk = as_keys([k for k, _ in flushed])
-            fv = np.stack([v for _, v in flushed]).astype(np.float32)
+        fk, fv = self.cache.settle_overflow()
+        if fk.size:
             seconds += self.ssd_ps.dump(fk, fv).total_seconds
         return seconds
 

@@ -60,16 +60,18 @@ class SparseOptimizer:
         if keys.size == 0:
             return out
         base = splitmix64(keys ^ np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
-        for j in range(self.dim):
-            with np.errstate(over="ignore"):
-                h1 = splitmix64(base + np.uint64(2 * j + 1))
-                h2 = splitmix64(base + np.uint64(2 * j + 2))
-            u1 = (h1 >> np.uint64(11)).astype(np.float64) / float(2**53)
-            u2 = (h2 >> np.uint64(11)).astype(np.float64) / float(2**53)
-            z = np.sqrt(-2.0 * np.log(np.clip(u1, 1e-300, None))) * np.cos(
-                2.0 * np.pi * u2
-            )
-            out[:, j] = (0.01 * z).astype(np.float32)
+        # One splitmix pass over an (n, 2*dim) grid — per-element math is
+        # identical to hashing each (key, coordinate) pair separately, so
+        # initialization stays key-deterministic across batch shapes.
+        offsets = np.arange(1, 2 * self.dim + 1, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            h = splitmix64(base[:, None] + offsets[None, :])
+        u = (h >> np.uint64(11)).astype(np.float64) / float(2**53)
+        u1, u2 = u[:, 0::2], u[:, 1::2]
+        z = np.sqrt(-2.0 * np.log(np.clip(u1, 1e-300, None))) * np.cos(
+            2.0 * np.pi * u2
+        )
+        out[:, : self.dim] = (0.01 * z).astype(np.float32)
         return out
 
     def embedding(self, values: np.ndarray) -> np.ndarray:

@@ -16,14 +16,15 @@ want real I/O).  Timing always comes from the :class:`SSDDevice` model.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import SSDSpec
 from repro.hardware.ssd_device import SSDDevice
-from repro.utils.keys import KEY_DTYPE, as_keys
+from repro.store.slot_index import SlotIndex
+from repro.utils.keys import as_keys
 
 __all__ = ["FileStore", "ParameterFile", "ReadResult"]
 
@@ -87,7 +88,8 @@ class FileStore:
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         self._files: dict[int, ParameterFile] = {}
-        self._mapping: dict[int, int] = {}  # key -> file_id
+        #: vectorized key -> file_id mapping (batch-first store layer).
+        self._mapping = SlotIndex(1024)
         self._next_file_id = 0
 
     # ------------------------------------------------------------------
@@ -115,13 +117,9 @@ class FileStore:
         return list(self._files.values())
 
     def mapping_of(self, keys: np.ndarray) -> np.ndarray:
-        """File id per key (-1 if unmapped)."""
-        keys = as_keys(keys)
-        return np.fromiter(
-            (self._mapping.get(int(k), -1) for k in keys),
-            dtype=np.int64,
-            count=keys.size,
-        )
+        """File id per key (-1 if unmapped), vectorized."""
+        fids, _ = self._mapping.get(as_keys(keys))
+        return fids
 
     # ------------------------------------------------------------------
     def _payload(self, f: ParameterFile) -> np.ndarray:
@@ -169,12 +167,14 @@ class FileStore:
             self._files[fid] = f
             total_t += self.device.write(self.file_bytes(f))
             # Repoint the mapping; bump old files' stale counters.
-            for k in chunk_keys:
-                ki = int(k)
-                old = self._mapping.get(ki)
-                if old is not None:
-                    self._files[old].stale_count += 1
-                self._mapping[ki] = fid
+            old_fids, existed = self._mapping.set(
+                chunk_keys, np.full(chunk_keys.size, fid, dtype=np.int64)
+            )
+            stale_fids, stale_counts = np.unique(
+                old_fids[existed], return_counts=True
+            )
+            for old, count in zip(stale_fids, stale_counts):
+                self._files[int(old)].stale_count += int(count)
             new_ids.append(fid)
         return total_t, new_ids
 
@@ -194,9 +194,7 @@ class FileStore:
         total_t = 0.0
         files_read = 0
         bytes_read = 0
-        for fid in np.unique(fids):
-            if fid < 0:
-                continue
+        for fid in np.unique(fids[fids >= 0]):
             f = self._files[int(fid)]
             payload = self._payload(f)
             sel = np.flatnonzero(fids == fid)
@@ -230,6 +228,8 @@ class FileStore:
                     f"file {fid}: stale counter says {f.n_live} live, "
                     f"mapping says {live}"
                 )
-        for k, fid in self._mapping.items():
-            if fid not in self._files:
-                raise AssertionError(f"key {k} maps to erased file {fid}")
+        keys, fids = self._mapping.items()
+        for fid in np.unique(fids):
+            if int(fid) not in self._files:
+                bad = int(keys[fids == fid][0])
+                raise AssertionError(f"key {bad} maps to erased file {int(fid)}")

@@ -17,6 +17,7 @@ from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import SSDSpec
 from repro.ssd.compaction import CompactionStats, Compactor
 from repro.ssd.file_store import FileStore, ReadResult
+from repro.utils.keys import KEY_DTYPE
 
 __all__ = ["SSDPS", "SSDBatchStats"]
 
@@ -85,6 +86,59 @@ class SSDPS:
         comp = self.compactor.compact()
         self.dump_seconds += seconds + comp.seconds
         return SSDBatchStats(seconds, comp if comp.triggered else None)
+
+    # ------------------------------------------------------------------
+    # ParameterStore protocol (functional surface; I/O time is still
+    # charged to the ledger through load/dump underneath).
+    # ------------------------------------------------------------------
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values + found mask for ``keys`` (protocol face of :meth:`load`)."""
+        result, _ = self.load(keys)
+        return result.values, result.found
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Persist ``keys`` (protocol face of :meth:`dump`); the bottom
+        tier never evicts, so the flush pair is always empty."""
+        self.dump(keys, values)
+        return (
+            np.zeros(0, dtype=KEY_DTYPE),
+            np.zeros((0, self.value_dim), dtype=np.float32),
+        )
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Materialized-on-SSD mask (no I/O charged — mapping lookup)."""
+        return self.store.mapping_of(keys) >= 0
+
+    def transform(self, keys: np.ndarray, fn) -> float:
+        """Read-modify-write resident ``keys``; returns simulated seconds."""
+        result, stats = self.load(keys)
+        if not np.all(result.found):
+            missing = np.asarray(keys)[~result.found][:5]
+            raise KeyError(f"transform on absent keys, e.g. {missing.tolist()}")
+        new_values = np.asarray(fn(result.values), dtype=np.float32)
+        seconds = stats.total_seconds
+        seconds += self.dump(np.asarray(keys), new_values).total_seconds
+        return seconds
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All live ``(keys, values)``, sorted by key (no I/O charged)."""
+        ks, vs = [], []
+        for f in self.store.files():
+            k, v = self.store.live_rows(f)
+            ks.append(k)
+            vs.append(v)
+        keys = (
+            np.concatenate(ks) if ks else np.zeros(0, dtype=np.uint64)
+        )
+        values = (
+            np.concatenate(vs, axis=0)
+            if ks
+            else np.zeros((0, self.value_dim), dtype=np.float32)
+        )
+        order = np.argsort(keys)
+        return keys[order], values[order]
 
     def check_invariants(self) -> None:
         self.store.check_invariants()

@@ -1,0 +1,14 @@
+"""Batch-first parameter-store layer.
+
+Defines the :class:`ParameterStore` protocol every tier of the
+HBM→MEM→SSD hierarchy implements, plus the vectorized building blocks
+(:class:`SlotIndex`, :class:`FlatStore`) and the seed per-key cache
+implementations kept as parity oracle and benchmark baseline
+(:mod:`repro.store.reference`).
+"""
+
+from repro.store.flat import FlatStore
+from repro.store.protocol import ParameterStore
+from repro.store.slot_index import SlotIndex
+
+__all__ = ["ParameterStore", "SlotIndex", "FlatStore"]

@@ -1,0 +1,56 @@
+"""The batch-first parameter-store protocol shared by all three tiers.
+
+Every storage layer of the hierarchy — the HBM hash tables, the MEM
+LRU+LFU caches, the SSD file store, and the reference trainer's flat
+store — speaks the same five-method batched interface.  Keys are always
+``uint64`` arrays, values ``(n, value_dim)`` float32 arrays; no method
+takes or returns a single key.  This is the contract later work (async
+pipelining, sharded backends, alternative cache policies) plugs into.
+
+The protocol is *functional*: it moves values, not simulated time.
+Timing stays on the tier-specific methods (``insert``/``load``/``dump``),
+which charge the hardware ledgers exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["ParameterStore"]
+
+
+@runtime_checkable
+class ParameterStore(Protocol):
+    """Batched key→value store.
+
+    ``get_batch``
+        Values for ``keys`` plus a found mask; missing rows are
+        zero-filled.  May touch replacement metadata (recency/frequency)
+        on caching tiers.
+    ``put_batch``
+        Insert/overwrite ``keys``; returns ``(flush_keys, flush_values)``
+        — entries the store evicted and the caller must persist to the
+        next tier down.  Unbounded stores return empty arrays.
+    ``contains``
+        Residency mask, metadata-neutral (no recency/frequency update).
+    ``transform``
+        Apply ``new = fn(old)`` to the values of resident ``keys``
+        in place (optimizer updates on the owning tier).
+    ``items``
+        All resident ``(keys, values)``, sorted by key (checkpointing,
+        parity tests).
+    """
+
+    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def put_batch(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def contains(self, keys: np.ndarray) -> np.ndarray: ...
+
+    def transform(self, keys: np.ndarray, fn) -> object: ...
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]: ...

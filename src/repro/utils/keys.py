@@ -12,8 +12,11 @@ import numpy as np
 __all__ = [
     "KEY_DTYPE",
     "EMPTY_KEY",
+    "TOMBSTONE_KEY",
     "as_keys",
+    "all_unique",
     "splitmix64",
+    "splitmix64_scalar",
     "mix_hash",
     "unique_keys",
 ]
@@ -24,7 +27,13 @@ KEY_DTYPE = np.uint64
 #: feature id in any of the generators (they draw from ``[0, n_sparse)``).
 EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
 
+#: Sentinel marking deleted slots in indices that support removal (the
+#: batch-first :mod:`repro.store` layer).  Like :data:`EMPTY_KEY`, it is
+#: reserved: feature ids never reach ``2**64 - 2``.
+TOMBSTONE_KEY = np.uint64(0xFFFFFFFFFFFFFFFE)
+
 _U64 = np.uint64
+_MASK64 = (1 << 64) - 1
 
 
 def as_keys(values) -> np.ndarray:
@@ -63,6 +72,23 @@ def splitmix64(x: np.ndarray) -> np.ndarray:
     return x
 
 
+def splitmix64_scalar(x: int) -> int:
+    """Python-int splitmix64, bit-identical to :func:`splitmix64`.
+
+    Single-key cache operations probe with plain ints to avoid the
+    overhead of 1-element array dispatch; the two implementations must
+    agree exactly or a key inserted via the batch path would be probed at
+    the wrong slot by the scalar path.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
 def mix_hash(keys: np.ndarray, seed: int = 0) -> np.ndarray:
     """Mix ``keys`` with an optional ``seed`` salt (vectorized)."""
     k = as_keys(keys)
@@ -70,6 +96,20 @@ def mix_hash(keys: np.ndarray, seed: int = 0) -> np.ndarray:
         with np.errstate(over="ignore"):
             k = k ^ splitmix64(np.full(1, seed, dtype=_U64))[0]
     return splitmix64(k)
+
+
+def all_unique(keys: np.ndarray) -> bool:
+    """Cheap duplicate test for key batches.
+
+    Working sets are usually the sorted output of :func:`unique_keys`, so
+    a strictly-increasing scan (O(n)) short-circuits before paying the
+    O(n log n) ``np.unique`` sort.
+    """
+    if keys.size <= 1:
+        return True
+    if bool(np.all(keys[1:] > keys[:-1])):
+        return True
+    return np.unique(keys).size == keys.size
 
 
 def unique_keys(*key_arrays: np.ndarray) -> np.ndarray:

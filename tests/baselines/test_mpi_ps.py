@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.mpi_ps import MPIClusterBaseline, MPITimingModel
-from repro.config import PAPER_MODELS, ClusterConfig
+from repro.config import PAPER_MODELS
 
 
 class TestTimingModel:

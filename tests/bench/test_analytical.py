@@ -1,7 +1,6 @@
 """Tests for the paper-scale analytical timing model — these pin down the
 qualitative shapes the paper's evaluation section reports."""
 
-import numpy as np
 import pytest
 
 from repro.bench.analytical import AnalyticalHPS

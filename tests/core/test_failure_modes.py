@@ -7,7 +7,7 @@ the errors must be loud and specific, never silent corruption.
 import numpy as np
 import pytest
 
-from repro.config import ClusterConfig, ModelSpec
+from repro.config import ClusterConfig
 from repro.core.cluster import HPSCluster
 from repro.hbm.hash_table import HashTable
 from repro.mem.cache import CombinedCache

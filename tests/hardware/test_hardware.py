@@ -1,6 +1,5 @@
 """Tests for the hardware cost models and ledger."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.gpu import GPUDevice, NVLink, dense_flops_per_example

@@ -1,0 +1,106 @@
+"""Every tier implements the batch-first ParameterStore protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hbm.distributed_table import DistributedHashTable
+from repro.hbm.hash_table import HashTable
+from repro.mem.cache import CombinedCache, LFUCache, LRUCache
+from repro.ssd.ssd_ps import SSDPS
+from repro.store import FlatStore, ParameterStore
+
+
+def keys_of(xs):
+    return np.array(xs, dtype=np.uint64)
+
+
+def vals_of(n, dim=2, base=0.0):
+    return (np.arange(n * dim, dtype=np.float32).reshape(n, dim) + base)
+
+
+ALL_STORES = [
+    lambda: HashTable(64, 2),
+    lambda: DistributedHashTable(2, 64, 2),
+    lambda: CombinedCache(64, value_dim=2),
+    lambda: LRUCache(64, value_dim=2),
+    lambda: LFUCache(64, value_dim=2),
+    lambda: SSDPS(2, file_capacity=8),
+    lambda: FlatStore(2),
+]
+
+
+@pytest.mark.parametrize("make", ALL_STORES)
+def test_conforms_to_protocol(make):
+    assert isinstance(make(), ParameterStore)
+
+
+@pytest.mark.parametrize("make", ALL_STORES)
+def test_roundtrip_through_protocol(make):
+    """put → get → contains → transform → items behave uniformly."""
+    store = make()
+    keys = keys_of([3, 11, 42])
+    values = vals_of(3)
+    fk, fv = store.put_batch(keys, values)
+    assert fk.size == 0 and fv.shape[1] == 2  # nothing evicted at this size
+
+    got, found = store.get_batch(keys)
+    assert found.all()
+    assert np.array_equal(got, values)
+
+    mask = store.contains(keys_of([11, 7]))
+    assert mask.tolist() == [True, False]
+
+    store.transform(keys, lambda v: v + 1.0)
+    got, found = store.get_batch(keys)
+    assert found.all()
+    assert np.array_equal(got, values + 1.0)
+
+    ik, iv = store.items()
+    assert ik.tolist() == [3, 11, 42]  # sorted by key
+    assert np.array_equal(iv, values + 1.0)
+
+
+@pytest.mark.parametrize("make", ALL_STORES)
+def test_get_batch_zero_fills_missing(make):
+    store = make()
+    store.put_batch(keys_of([1]), vals_of(1, base=5.0))
+    got, found = store.get_batch(keys_of([2, 1]))
+    assert found.tolist() == [False, True]
+    assert (got[0] == 0.0).all()
+
+
+@pytest.mark.parametrize("make", ALL_STORES)
+def test_transform_absent_raises(make):
+    store = make()
+    store.put_batch(keys_of([1]), vals_of(1))
+    with pytest.raises(KeyError):
+        store.transform(keys_of([1, 99]), lambda v: v)
+
+
+class TestFlatStore:
+    def test_grows_unbounded(self):
+        store = FlatStore(3, capacity=4)
+        n = 10_000
+        keys = np.arange(n, dtype=np.uint64)
+        values = np.random.default_rng(0).normal(size=(n, 3)).astype(np.float32)
+        store.put_batch(keys, values)
+        assert len(store) == n
+        got, found = store.get_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, values)
+
+    def test_overwrite_in_place(self):
+        store = FlatStore(2)
+        store.put_batch(keys_of([1, 2]), vals_of(2))
+        store.put_batch(keys_of([2]), vals_of(1, base=100.0))
+        got, _ = store.get_batch(keys_of([2]))
+        assert np.array_equal(got[0], vals_of(1, base=100.0)[0])
+        assert len(store) == 2
+
+    def test_never_flushes(self):
+        store = FlatStore(1, capacity=2)
+        for start in range(0, 400, 100):
+            keys = np.arange(start, start + 100, dtype=np.uint64)
+            fk, _ = store.put_batch(keys, vals_of(100, dim=1))
+            assert fk.size == 0
+        assert len(store) == 400
