@@ -39,6 +39,7 @@ __all__ = [
     "run_fig5b_scalability",
     "run_fig3b_auc",
     "run_op_osrp_study",
+    "run_pipeline_overlap",
     "small_cluster_config",
 ]
 
@@ -293,6 +294,71 @@ def run_fig3b_auc(
         "auc_hps": auc_hps,
         "auc_reference": auc_ref,
         "relative_auc": auc_hps / auc_ref,
+    }
+
+
+def run_pipeline_overlap(
+    spec: ModelSpec | None = None,
+    *,
+    n_batches: int = 6,
+    batch_size: int = 256,
+    queue_capacity: int | tuple[int, ...] = 2,
+    seed: int = 0,
+) -> dict:
+    """Lockstep vs pipelined end-to-end training (paper Section 3).
+
+    Trains two identical clusters on identical data — one lockstep, one
+    through the :class:`~repro.core.engine.PipelinedEngine` — and reports
+    both makespans plus a parameter-parity check.  The pipeline performs
+    the same work in the same order, so ``parameter_parity`` must be
+    ``True`` (bit-identical sparse and dense parameters) while
+    ``pipelined_makespan`` drops below ``lockstep_makespan`` by the
+    overlap the bottleneck stage cannot absorb.
+    """
+    spec = spec or functional_model()
+
+    def build() -> HPSCluster:
+        return HPSCluster(
+            spec,
+            small_cluster_config(seed=seed),
+            functional_batch_size=batch_size,
+        )
+
+    lockstep = build()
+    lock_stats = lockstep.train(n_batches)
+    lock_makespan = sum(sum(s.pipeline_stage_seconds) for s in lock_stats)
+
+    pipelined = build()
+    run = pipelined.train_pipelined(n_batches, queue_capacity=queue_capacity)
+
+    probe = lockstep.generator.batch(10_000, 2048).unique_keys()
+    sparse_equal = bool(
+        np.array_equal(
+            lockstep.lookup_embeddings(probe), pipelined.lookup_embeddings(probe)
+        )
+    )
+    dense_equal = all(
+        np.array_equal(a, b)
+        for a, b in zip(
+            lockstep.nodes[0].model.dense_state(),
+            pipelined.nodes[0].model.dense_state(),
+        )
+    )
+    schedule = run.schedule
+    return {
+        "n_batches": n_batches,
+        "lockstep_makespan": lock_makespan,
+        "pipelined_makespan": run.makespan,
+        "speedup": lock_makespan / run.makespan if run.makespan else 1.0,
+        "steady_state_interval": schedule.steady_state_interval,
+        "bottleneck_stage": schedule.stage_names[schedule.bottleneck_stage()],
+        "lockstep_throughput": (
+            sum(s.n_examples for s in lock_stats) / lock_makespan
+            if lock_makespan
+            else 0.0
+        ),
+        "pipelined_throughput": run.throughput(),
+        "parameter_parity": sparse_equal and dense_equal,
     }
 
 

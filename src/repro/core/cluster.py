@@ -2,7 +2,20 @@
 
 :class:`HPSCluster` instantiates ``n_nodes`` :class:`~repro.core.node.HPSNode`
 objects, wires their MEM-PS peers together, and drives the full Algorithm 1
-training workflow in lockstep across nodes:
+training workflow across nodes.  The workflow is factored into four
+independently-callable stage functions (:meth:`HPSCluster.stage_read`,
+:meth:`~HPSCluster.stage_prepare`, :meth:`~HPSCluster.stage_load`,
+:meth:`~HPSCluster.stage_train`) with two execution modes:
+
+* **lockstep** (:meth:`HPSCluster.train_round` / :meth:`HPSCluster.train`)
+  runs the stages back-to-back per round — the parity oracle;
+* **pipelined** (:meth:`HPSCluster.train_pipelined`) hands the same stage
+  functions to the :class:`~repro.core.engine.PipelinedEngine`, which
+  overlaps consecutive rounds' stages on the simulated clock under bounded
+  prefetch queues while executing identical work in identical order, so
+  trained parameters stay bit-identical to lockstep.
+
+One round performs:
 
 1.  every node streams its own batch from HDFS (data parallel);
 2.  every node gathers its batch's working parameters from local
@@ -23,21 +36,33 @@ plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import ClusterConfig, ModelSpec
 from repro.data.batching import Batch
 from repro.data.generator import CTRDataGenerator
+from repro.data.hdfs import TimedBatch
 from repro.hardware.gpu import dense_flops_per_example
 from repro.hardware.specs import NodeHardware
 from repro.hbm.allreduce import allreduce_dense, hierarchical_allreduce
+from repro.core.engine import EngineRun, PipelinedEngine, StageDef
 from repro.core.node import HPSNode
+from repro.core.pipeline import PipelineSchedule
 from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
 from repro.utils.keys import as_keys
 
-__all__ = ["HPSCluster", "BatchStats"]
+__all__ = [
+    "HPSCluster",
+    "BatchStats",
+    "RoundContext",
+    "PipelinedRun",
+    "PIPELINE_STAGE_NAMES",
+]
+
+#: Executor-stage names, in Algorithm 1 order.
+PIPELINE_STAGE_NAMES = ("read", "prepare", "load", "train")
 
 
 @dataclass
@@ -67,6 +92,11 @@ class BatchStats:
     n_examples: int
     mean_loss: float
     compactions: int = 0
+    #: Critical-path worker time: sum over mini-batch rounds of the slowest
+    #: worker's (pull + compute + push).  Workers run in parallel, so this —
+    #: not the per-worker average — is what the GPU stage actually costs
+    #: when workers are imbalanced.
+    worker_critical_seconds: float = 0.0
 
     @property
     def bottleneck_seconds(self) -> float:
@@ -76,6 +106,100 @@ class BatchStats:
     @property
     def stage_times(self) -> tuple[float, float, float]:
         return (self.read_seconds, self.pull_push_seconds, self.train_seconds)
+
+    @property
+    def pipeline_stage_seconds(self) -> tuple[float, float, float, float]:
+        """The four executor-stage durations of this round.
+
+        Matches the :class:`~repro.core.engine.PipelinedEngine` stage split
+        (HDFS read, MEM/SSD prepare, CPU partition + HBM load, GPU
+        train/sync/write-back); summing all four gives the round's serial
+        makespan.
+        """
+        prepare = max(self.pull_local_seconds, self.pull_remote_seconds)
+        absorb = self.pull_push_seconds - prepare
+        return (
+            self.read_seconds,
+            prepare,
+            self.cpu_partition_seconds,
+            self.train_seconds + absorb,
+        )
+
+
+@dataclass
+class RoundContext:
+    """Mutable state threaded through one round's four stage functions.
+
+    Each stage function reads its predecessors' outputs from the context
+    and records its own.  The lockstep and pipelined paths drive the exact
+    same stage functions over the same contexts — identical work in an
+    identical order — and differ only in the clock model, which is what
+    makes pipelined training bit-identical to lockstep.
+    """
+
+    round_index: int
+    # stage 1: HDFS read
+    timed: list[TimedBatch] = field(default_factory=list)
+    read_seconds: float = 0.0
+    # stage 2: MEM-PS/SSD-PS prepare
+    workings: list[np.ndarray] = field(default_factory=list)
+    prep_values: list[np.ndarray] = field(default_factory=list)
+    pull_local_seconds: float = 0.0
+    pull_remote_seconds: float = 0.0
+    # stage 3: CPU partition + HBM working-set staging
+    shards: list = field(default_factory=list)
+    cpu_partition_seconds: float = 0.0
+    # per-round accounting snapshots (taken by the first cache-touching
+    # stage, so they bracket correctly even if reads are prefetched)
+    cache_stats_before: list[tuple[int, int]] = field(default_factory=list)
+    compactions_before: int = 0
+    ssd_before: list[float] = field(default_factory=list)
+    # stage 4 output: the round's aggregated stats
+    stats: BatchStats | None = None
+
+
+@dataclass(frozen=True)
+class PipelinedRun:
+    """One :meth:`HPSCluster.train_pipelined` call.
+
+    Couples the per-round :class:`BatchStats` (identical to what lockstep
+    would report) with the overlapped :class:`PipelineSchedule` the engine
+    produced.
+    """
+
+    stats: list[BatchStats]
+    engine_run: EngineRun
+
+    @property
+    def schedule(self) -> PipelineSchedule:
+        return self.engine_run.schedule
+
+    @property
+    def stage_times(self) -> np.ndarray:
+        """Measured per-round durations, shape ``(n_rounds, 4)``."""
+        return self.engine_run.stage_times
+
+    @property
+    def makespan(self) -> float:
+        """Wall time of the overlapped execution."""
+        return self.engine_run.makespan
+
+    @property
+    def serial_makespan(self) -> float:
+        """What the same rounds would have cost run back-to-back."""
+        return self.engine_run.serial_makespan
+
+    @property
+    def speedup(self) -> float:
+        return self.engine_run.speedup
+
+    @property
+    def n_examples(self) -> int:
+        return sum(s.n_examples for s in self.stats)
+
+    def throughput(self) -> float:
+        """Examples per pipelined second."""
+        return self.n_examples / self.makespan if self.makespan else 0.0
 
 
 class HPSCluster:
@@ -130,58 +254,91 @@ class HPSCluster:
     def n_nodes(self) -> int:
         return self.config.n_nodes
 
-    def _cpu_partition_time(self, n_keys: int, node: HPSNode) -> float:
-        cpu = node.hardware.cpu
-        # Half the cores shard keys while the other half run the pipeline.
-        rate = cpu.keys_per_second_per_core * max(1, cpu.cores // 2)
-        return node.ledger.add("cpu_partition", n_keys / rate)
-
     # ------------------------------------------------------------------
-    def train_round(self, round_index: int | None = None) -> BatchStats:
-        """Run one global batch through Algorithm 1 on every node."""
-        r = self.rounds_completed if round_index is None else round_index
+    # Algorithm 1 as four independently-callable pipeline stages.  The
+    # lockstep path (train_round) runs them back-to-back; the pipelined
+    # path (train_pipelined) hands the same functions to the
+    # PipelinedEngine, which overlaps consecutive rounds on the clock.
+    # ------------------------------------------------------------------
+    def stage_functions(self):
+        """The four pipeline stages as ``(name, fn(ctx) -> seconds)`` pairs."""
+        return (
+            (PIPELINE_STAGE_NAMES[0], self.stage_read),
+            (PIPELINE_STAGE_NAMES[1], self.stage_prepare),
+            (PIPELINE_STAGE_NAMES[2], self.stage_load),
+            (PIPELINE_STAGE_NAMES[3], self.stage_train),
+        )
+
+    def stage_read(self, ctx: RoundContext) -> float:
+        """Stage 1 — HDFS read (Alg. 1 line 2); data-parallel per node."""
+        r = ctx.round_index
+        ctx.timed = [
+            n.hdfs.read(r * self.n_nodes + n.node_id) for n in self.nodes
+        ]
+        ctx.read_seconds = max(t.read_seconds for t in ctx.timed)
+        return ctx.read_seconds
+
+    def stage_prepare(self, ctx: RoundContext) -> float:
+        """Stage 2 — gather working parameters (lines 3-4).
+
+        Snapshots the cache/SSD/compaction counters first: this is the
+        round's first cache-touching stage, so bracketing here keeps the
+        per-round accounting correct in both execution modes.
+        """
+        nodes = self.nodes
+        ctx.cache_stats_before = [
+            (n.mem_ps.cache.stats.hits, n.mem_ps.cache.stats.misses)
+            for n in nodes
+        ]
+        ctx.compactions_before = sum(
+            n.ssd_ps.compactor.total_compactions for n in nodes
+        )
+        ctx.ssd_before = [
+            n.ledger.total("ssd_read") + n.ledger.total("ssd_write")
+            for n in nodes
+        ]
+        ctx.workings = [t.batch.unique_keys() for t in ctx.timed]
+        prep_out = [
+            node.mem_ps.prepare(w) for node, w in zip(nodes, ctx.workings)
+        ]
+        ctx.prep_values = [values for values, _ in prep_out]
+        ctx.pull_local_seconds = max(p.local_seconds for _, p in prep_out)
+        ctx.pull_remote_seconds = max(p.remote_seconds for _, p in prep_out)
+        return max(ctx.pull_local_seconds, ctx.pull_remote_seconds)
+
+    def stage_load(self, ctx: RoundContext) -> float:
+        """Stage 3 — CPU partition + HBM working-set staging (lines 5-10)."""
+        n_gpus = self.config.gpus_per_node
+        mb_rounds = self.config.minibatches_per_gpu
+        cpu_s = 0.0
+        load_s = 0.0
+        for node, working, values in zip(
+            self.nodes, ctx.workings, ctx.prep_values
+        ):
+            cpu_s = max(cpu_s, node.cpu_partition_time(working.size))
+            load_s = max(load_s, node.hbm_ps.load_working_set(working, values))
+        ctx.shards = [t.batch.shard(n_gpus * mb_rounds) for t in ctx.timed]
+        ctx.cpu_partition_seconds = cpu_s + load_s
+        return ctx.cpu_partition_seconds
+
+    def stage_train(self, ctx: RoundContext) -> float:
+        """Stage 4 — mini-batch training, sync, write-back (lines 11-18).
+
+        Produces the round's :class:`BatchStats` (``ctx.stats``) and
+        returns the stage's critical-path seconds, including the MEM-PS
+        write-back that completes the round.
+        """
         nodes = self.nodes
         n_gpus = self.config.gpus_per_node
         mb_rounds = self.config.minibatches_per_gpu
-
-        cache_stats_before = [
-            (n.mem_ps.cache.stats.hits, n.mem_ps.cache.stats.misses) for n in nodes
-        ]
-        compactions_before = sum(
-            n.ssd_ps.compactor.total_compactions for n in nodes
-        )
-        ssd_before = [
-            n.ledger.total("ssd_read") + n.ledger.total("ssd_write") for n in nodes
-        ]
-
-        # --- stage 1: HDFS read (Alg. 1 line 2) -------------------------
-        timed = [n.hdfs.read(r * self.n_nodes + n.node_id) for n in nodes]
-        read_s = max(t.read_seconds for t in timed)
-
-        # --- stage 2: gather working parameters (lines 3-4) -------------
-        workings = [t.batch.unique_keys() for t in timed]
-        prep_out = [
-            node.mem_ps.prepare(w) for node, w in zip(nodes, workings)
-        ]
-        pull_local_s = max(p.local_seconds for _, p in prep_out)
-        pull_remote_s = max(p.remote_seconds for _, p in prep_out)
-
-        # --- stage 3: partition + insert into HBM (lines 5-10) ----------
-        cpu_s = 0.0
-        load_s = 0.0
-        for node, working, (values, _) in zip(nodes, workings, prep_out):
-            cpu_s = max(cpu_s, self._cpu_partition_time(working.size, node))
-            load_s = max(load_s, node.hbm_ps.load_working_set(working, values))
-
-        shards = [t.batch.shard(n_gpus * mb_rounds) for t in timed]
-
-        # --- stage 4: mini-batch training + sync (lines 11-15) ----------
+        shards = ctx.shards
         flops_per_ex = dense_flops_per_example(
             self.model_spec.n_slots,
             self.model_spec.embedding_dim,
             self.model_spec.hidden_layers,
         )
         hbm_pull_s = hbm_push_s = gpu_s = allreduce_s = 0.0
+        worker_critical_s = 0.0
         losses: list[float] = []
         n_examples = 0
         for m in range(mb_rounds):
@@ -247,10 +404,11 @@ class HPSCluster:
                     [g.astype(np.float32) for g in dense_sum],
                 )
             allreduce_s += t_ar + t_dense
-            gpu_s_round = round_worker_t
-            # (per-round worker time already folded into totals above)
+            # Workers run in parallel, so the slowest worker is the
+            # mini-batch round's critical path; rounds are serial.
+            worker_critical_s += round_worker_t
 
-        # --- stage 5: write back (lines 16-18) ---------------------------
+        # --- write back (lines 16-18) ------------------------------------
         absorb_s = 0.0
         for node in nodes:
             keys, values = node.hbm_ps.dump()
@@ -261,43 +419,93 @@ class HPSCluster:
         # --- aggregate ---------------------------------------------------
         hits = sum(
             n.mem_ps.cache.stats.hits - b[0]
-            for n, b in zip(nodes, cache_stats_before)
+            for n, b in zip(nodes, ctx.cache_stats_before)
         )
         misses = sum(
             n.mem_ps.cache.stats.misses - b[1]
-            for n, b in zip(nodes, cache_stats_before)
+            for n, b in zip(nodes, ctx.cache_stats_before)
         )
         ssd_after = [
             n.ledger.total("ssd_read") + n.ledger.total("ssd_write") for n in nodes
         ]
         stats = BatchStats(
-            round_index=r,
-            read_seconds=read_s,
-            pull_local_seconds=pull_local_s,
-            pull_remote_seconds=pull_remote_s,
-            pull_push_seconds=max(pull_local_s, pull_remote_s) + absorb_s,
-            cpu_partition_seconds=cpu_s + load_s,
+            round_index=ctx.round_index,
+            read_seconds=ctx.read_seconds,
+            pull_local_seconds=ctx.pull_local_seconds,
+            pull_remote_seconds=ctx.pull_remote_seconds,
+            pull_push_seconds=max(ctx.pull_local_seconds, ctx.pull_remote_seconds)
+            + absorb_s,
+            cpu_partition_seconds=ctx.cpu_partition_seconds,
             hbm_pull_seconds=hbm_pull_s / self.n_nodes,
             hbm_push_seconds=hbm_push_s / self.n_nodes,
             gpu_train_seconds=gpu_s / self.n_nodes,
             allreduce_seconds=allreduce_s,
-            train_seconds=(hbm_pull_s + hbm_push_s + gpu_s) / (self.n_nodes * n_gpus)
-            + allreduce_s,
-            ssd_io_seconds=max(a - b for a, b in zip(ssd_after, ssd_before)),
+            # Critical path of the GPU stage: the slowest worker per
+            # mini-batch round (workers are parallel, rounds serial) plus
+            # the synchronization.  An average over workers would
+            # underestimate the stage whenever workers are imbalanced.
+            train_seconds=worker_critical_s + allreduce_s,
+            worker_critical_seconds=worker_critical_s,
+            ssd_io_seconds=max(a - b for a, b in zip(ssd_after, ctx.ssd_before)),
             cache_hit_rate=hits / max(1, hits + misses),
-            n_working_params=int(sum(w.size for w in workings)),
+            n_working_params=int(sum(w.size for w in ctx.workings)),
             n_examples=n_examples,
             mean_loss=float(np.mean(losses)) if losses else float("nan"),
             compactions=sum(n.ssd_ps.compactor.total_compactions for n in nodes)
-            - compactions_before,
+            - ctx.compactions_before,
         )
+        ctx.stats = stats
         self.history.append(stats)
         self.rounds_completed += 1
-        return stats
+        return worker_critical_s + allreduce_s + absorb_s
+
+    # ------------------------------------------------------------------
+    def train_round(self, round_index: int | None = None) -> BatchStats:
+        """Run one global batch through Algorithm 1 on every node.
+
+        Lockstep mode: the four pipeline stages run back-to-back.  This is
+        the parity oracle for :meth:`train_pipelined` — both modes call
+        the same stage functions in the same order.
+        """
+        r = self.rounds_completed if round_index is None else round_index
+        ctx = RoundContext(round_index=r)
+        for _, stage_fn in self.stage_functions():
+            stage_fn(ctx)
+        return ctx.stats
 
     def train(self, n_rounds: int) -> list[BatchStats]:
-        """Run ``n_rounds`` global batches; returns their stats."""
+        """Run ``n_rounds`` global batches in lockstep; returns their stats."""
         return [self.train_round() for _ in range(n_rounds)]
+
+    def train_pipelined(
+        self,
+        n_rounds: int,
+        *,
+        queue_capacity: int | tuple[int, ...] = 2,
+    ) -> PipelinedRun:
+        """Run ``n_rounds`` with inter-round overlap (the 4-stage pipeline).
+
+        Performs exactly the same work as ``n_rounds`` :meth:`train_round`
+        calls — trained parameters are bit-identical to lockstep — but the
+        clock overlaps consecutive rounds' stages under bounded prefetch
+        queues, so the reported makespan reflects I/O hidden behind GPU
+        compute (paper Section 3).
+        """
+        base = self.rounds_completed
+        ctxs: dict[int, RoundContext] = {}
+
+        def ctx_for(b: int) -> RoundContext:
+            if b not in ctxs:
+                ctxs[b] = RoundContext(round_index=base + b)
+            return ctxs[b]
+
+        stages = [
+            StageDef(name, lambda b, fn=fn: fn(ctx_for(b)))
+            for name, fn in self.stage_functions()
+        ]
+        engine = PipelinedEngine(stages, queue_capacity=queue_capacity)
+        run = engine.run(n_rounds)
+        return PipelinedRun([ctxs[b].stats for b in range(n_rounds)], run)
 
     # ------------------------------------------------------------------
     def lookup_embeddings(self, keys: np.ndarray) -> np.ndarray:

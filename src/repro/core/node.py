@@ -99,3 +99,11 @@ class HPSNode:
     @property
     def n_gpus(self) -> int:
         return self.config.gpus_per_node
+
+    def cpu_partition_time(self, n_keys: int) -> float:
+        """Simulated seconds to shard ``n_keys`` working keys across this
+        node's GPUs (Alg. 1 line 5), charged to the node's ledger."""
+        cpu = self.hardware.cpu
+        # Half the cores shard keys while the other half run the pipeline.
+        rate = cpu.keys_per_second_per_core * max(1, cpu.cores // 2)
+        return self.ledger.add("cpu_partition", n_keys / rate)

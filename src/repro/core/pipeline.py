@@ -25,9 +25,51 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PipelineSimulator", "PipelineSchedule", "STAGE_NAMES"]
+__all__ = [
+    "PipelineSimulator",
+    "PipelineSchedule",
+    "STAGE_NAMES",
+    "earliest_start",
+]
 
 STAGE_NAMES = ("network", "cpu", "ssd", "gpu")
+
+
+def earliest_start(
+    start: np.ndarray,
+    finish: np.ndarray,
+    b: int,
+    s: int,
+    queue_capacity: tuple[int, ...],
+) -> float:
+    """Earliest feasible start of event ``(batch b, stage s)``.
+
+    Encodes the three pipeline constraints shared by the analytic
+    :class:`PipelineSimulator` and the executing
+    :class:`~repro.core.engine.PipelinedEngine`:
+
+    1. *stage precedence* — batch ``b`` cannot enter stage ``s`` before it
+       leaves stage ``s - 1``;
+    2. *resource serialization* — each stage's hardware resource handles
+       one batch at a time, in batch order;
+    3. *bounded prefetch queues* — stage ``s`` cannot start batch ``b``
+       before stage ``s + 1`` has started batch ``b - q`` (otherwise the
+       downstream queue of depth ``q`` would overflow).
+
+    Requires every referenced earlier event to be filled in already, which
+    batch-major processing order guarantees.
+    """
+    t = 0.0
+    if s > 0:
+        t = max(t, finish[b, s - 1])
+    if b > 0:
+        t = max(t, finish[b - 1, s])
+    n_stages = start.shape[1]
+    if s < n_stages - 1:
+        q = queue_capacity[s]
+        if b - q >= 0:
+            t = max(t, start[b - q, s + 1])
+    return t
 
 
 @dataclass(frozen=True)
@@ -123,16 +165,7 @@ class PipelineSimulator:
         finish = np.zeros((n, self.n_stages))
         for b in range(n):
             for s in range(self.n_stages):
-                t = 0.0
-                if s > 0:
-                    t = max(t, finish[b, s - 1])  # needs previous stage's output
-                if b > 0:
-                    t = max(t, finish[b - 1, s])  # resource is serial
-                if s < self.n_stages - 1:
-                    q = self.queue_capacity[s]
-                    if b - q >= 0:
-                        # Downstream queue full until batch b-q is consumed.
-                        t = max(t, start[b - q, s + 1])
+                t = earliest_start(start, finish, b, s, self.queue_capacity)
                 start[b, s] = t
                 finish[b, s] = t + st[b, s]
         return PipelineSchedule(start, finish, self.stage_names)

@@ -19,7 +19,7 @@ from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import GPUSpec, NVLinkSpec
 from repro.hbm.hash_table import HashTable
 from repro.hbm.partition import ModuloPartitioner
-from repro.utils.keys import KEY_DTYPE, as_keys
+from repro.utils.keys import KEY_DTYPE, all_unique, as_keys
 
 __all__ = ["DistributedHashTable"]
 
@@ -164,8 +164,14 @@ class DistributedHashTable:
         return t_table + t_link
 
     def transform(self, keys: np.ndarray, fn) -> float:
-        """Apply an optimizer transform to resident ``keys`` on their owners."""
+        """Apply an optimizer transform to resident ``keys`` on their owners.
+
+        ``keys`` must be unique — duplicates would silently last-write-win
+        inside a partition, corrupting optimizer updates.
+        """
         keys = as_keys(keys)
+        if not all_unique(keys):
+            raise ValueError("transform requires unique keys")
         parts = self.partitioner.split(keys)
         t = 0.0
         for gpu, (k,) in enumerate(parts):

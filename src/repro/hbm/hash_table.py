@@ -97,6 +97,19 @@ class HashTable:
             return
         if not all_unique(keys):
             raise ValueError("insert requires unique keys")
+        # Pre-flight capacity check: fail before any slot is written, so a
+        # rejected insert never leaves the table partially mutated.  The
+        # precise non-resident count costs a full probe pass, so only pay
+        # it when the free upper bound (every key new) would overflow.
+        if self.size + keys.size > self.capacity:
+            _, resident = self._locate(keys)
+            n_new = int((~resident).sum())
+            if self.size + n_new > self.capacity:
+                allowed = self.capacity - self.size
+                raise RuntimeError(
+                    f"hash table capacity exceeded: {self.size}+"
+                    f"{n_new} > {self.capacity} (room for {allowed})"
+                )
         base = self._base_slots(keys)
         pending = np.arange(keys.size)
         offset = np.zeros(keys.size, dtype=np.int64)
@@ -113,12 +126,6 @@ class HashTable:
             if cand.size:
                 _, first = np.unique(s[cand], return_index=True)
                 winners = cand[first]
-                if self.size + winners.size > self.capacity:
-                    allowed = self.capacity - self.size
-                    raise RuntimeError(
-                        f"hash table capacity exceeded: {self.size}+"
-                        f"{winners.size} > {self.capacity} (room for {allowed})"
-                    )
                 widx = pending[winners]
                 self._keys[s[winners]] = keys[widx]
                 self._values[s[winners]] = values[widx]
@@ -188,6 +195,8 @@ class HashTable:
         keys = as_keys(keys)
         if keys.size == 0:
             return
+        if not all_unique(keys):
+            raise ValueError("transform requires unique keys")
         slots, found = self._locate(keys)
         if not np.all(found):
             missing = keys[~found][:5]

@@ -17,7 +17,7 @@ from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import SSDSpec
 from repro.ssd.compaction import CompactionStats, Compactor
 from repro.ssd.file_store import FileStore, ReadResult
-from repro.utils.keys import KEY_DTYPE
+from repro.utils.keys import KEY_DTYPE, as_keys
 
 __all__ = ["SSDPS", "SSDBatchStats"]
 
@@ -112,14 +112,20 @@ class SSDPS:
         return self.store.mapping_of(keys) >= 0
 
     def transform(self, keys: np.ndarray, fn) -> float:
-        """Read-modify-write resident ``keys``; returns simulated seconds."""
+        """Read-modify-write resident ``keys``; returns simulated seconds.
+
+        ``keys`` is normalized to the canonical ``uint64`` key dtype up
+        front so plain Python int lists cannot mismatch the file-store
+        mapping (whose keys are always ``uint64``).
+        """
+        keys = as_keys(keys)
         result, stats = self.load(keys)
         if not np.all(result.found):
-            missing = np.asarray(keys)[~result.found][:5]
+            missing = keys[~result.found][:5]
             raise KeyError(f"transform on absent keys, e.g. {missing.tolist()}")
         new_values = np.asarray(fn(result.values), dtype=np.float32)
         seconds = stats.total_seconds
-        seconds += self.dump(np.asarray(keys), new_values).total_seconds
+        seconds += self.dump(keys, new_values).total_seconds
         return seconds
 
     def items(self) -> tuple[np.ndarray, np.ndarray]:

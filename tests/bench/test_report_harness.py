@@ -9,10 +9,12 @@ from repro.bench.harness import (
     run_fig3c_stage_times,
     run_fig4b_mem_times,
     run_fig5b_scalability,
+    run_pipeline_overlap,
     run_table4_speedups,
     small_cluster_config,
 )
-from repro.bench.report import ascii_bars, format_series, format_table
+from repro.bench.report import ascii_bars, ascii_gantt, format_series, format_table
+from repro.core.pipeline import PipelineSimulator
 
 
 class TestFormatTable:
@@ -52,6 +54,32 @@ class TestSeriesAndBars:
         assert "a" in out
 
 
+class TestGantt:
+    def test_rows_and_legend(self):
+        sched = PipelineSimulator().schedule(np.tile([1.0, 1.0, 1.0, 1.0], (3, 1)))
+        out = ascii_gantt(sched, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 4  # 3 batch rows + legend
+        assert lines[0].startswith("batch  0 |")
+        assert "N=network" in lines[-1]
+
+    def test_overlap_visible(self):
+        """Consecutive batches occupy overlapping columns."""
+        sched = PipelineSimulator().schedule(np.tile([2.0, 2.0, 2.0, 2.0], (2, 1)))
+        out = ascii_gantt(sched, width=40).splitlines()
+        row0, row1 = out[0], out[1]
+        overlap = [
+            i
+            for i, (a, b) in enumerate(zip(row0, row1))
+            if a not in " |" and b not in " |"
+        ]
+        assert overlap
+
+    def test_empty_schedule(self):
+        sched = PipelineSimulator().schedule(np.zeros((0, 4)))
+        assert "empty" in ascii_gantt(sched)
+
+
 class TestHarnessEntryPoints:
     def test_table4_rows_complete(self):
         rows = run_table4_speedups()
@@ -85,3 +113,8 @@ class TestHarnessEntryPoints:
         cfg = small_cluster_config(n_nodes=3, compaction_threshold=1.4)
         assert cfg.n_nodes == 3
         assert cfg.compaction_threshold == 1.4
+
+    def test_pipeline_overlap_smoke(self):
+        row = run_pipeline_overlap(n_batches=3, batch_size=128)
+        assert row["parameter_parity"] is True
+        assert row["pipelined_makespan"] < row["lockstep_makespan"]

@@ -98,6 +98,14 @@ class TestTransformItemsClear:
         got, _ = table.get(keys)
         assert np.all(got == 3.0)
 
+    def test_transform_duplicate_keys_rejected(self, table):
+        keys = keys_of(range(10))
+        table.insert(keys, np.ones((10, 2), dtype=np.float32))
+        with pytest.raises(ValueError, match="unique"):
+            table.transform(keys_of([3, 3, 5]), lambda v: v * 2)
+        got, _ = table.get(keys)
+        assert np.all(got == 1.0)
+
     def test_items_globally_sorted(self, table):
         keys = keys_of([44, 2, 93, 17])
         table.insert(keys, np.zeros((4, 2), dtype=np.float32))

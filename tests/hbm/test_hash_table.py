@@ -74,6 +74,27 @@ class TestInsertGet:
         with pytest.raises(RuntimeError, match="capacity"):
             t.insert(keys_of(range(5)), vals_of([[i] for i in range(5)], dim=1))
 
+    def test_capacity_failure_leaves_table_unchanged(self):
+        """A rejected insert must not mutate the table (no partial writes)."""
+        t = HashTable(4, 1)
+        t.insert(keys_of([1, 2, 3]), vals_of([[1], [2], [3]], dim=1))
+        with pytest.raises(RuntimeError, match="capacity"):
+            # 2 resident overwrites + 2 new keys: 3 + 2 > 4 must fail
+            # before the overwrites of keys 1 and 2 are applied.
+            t.insert(keys_of([1, 2, 8, 9]), vals_of([[10], [20], [80], [90]], dim=1))
+        assert t.size == 3
+        vals, found = t.get(keys_of([1, 2, 3, 8, 9]))
+        assert found.tolist() == [True, True, True, False, False]
+        assert vals[:3, 0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_capacity_counts_only_new_keys(self):
+        """Overwrites of resident keys never count against capacity."""
+        t = HashTable(3, 1)
+        t.insert(keys_of([1, 2, 3]), vals_of([[1], [2], [3]], dim=1))
+        t.insert(keys_of([1, 2, 3]), vals_of([[10], [20], [30]], dim=1))
+        vals, _ = t.get(keys_of([1, 2, 3]))
+        assert vals[:, 0].tolist() == [10.0, 20.0, 30.0]
+
     def test_fill_to_exact_capacity(self):
         t = HashTable(8, 1)
         t.insert(keys_of(range(8)), vals_of([[i] for i in range(8)], dim=1))
@@ -125,6 +146,15 @@ class TestTransform:
         t = HashTable(10, 1)
         with pytest.raises(KeyError):
             t.transform(keys_of([9]), lambda v: v)
+
+    def test_duplicate_keys_rejected(self):
+        """Duplicates would silently last-write-win; they must raise."""
+        t = HashTable(10, 1)
+        t.insert(keys_of([1, 2]), vals_of([[1], [2]], dim=1))
+        with pytest.raises(ValueError, match="unique"):
+            t.transform(keys_of([1, 1, 2]), lambda v: v + 1)
+        vals, _ = t.get(keys_of([1, 2]))
+        assert vals[:, 0].tolist() == [1.0, 2.0]
 
 
 class TestItemsClear:

@@ -1,0 +1,41 @@
+"""CI guard: the tracked tree must contain no bytecode artifacts.
+
+Committed ``.pyc`` files go stale silently (they shadow source edits on
+mismatched interpreter versions) and bloat every checkout; ``.gitignore``
+keeps them out locally and this check keeps them out of the index.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def tracked_files() -> list[str]:
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    out = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "ls-files"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+def test_no_bytecode_tracked():
+    offenders = [
+        f
+        for f in tracked_files()
+        if f.endswith((".pyc", ".pyo")) or "__pycache__" in f.split("/")
+    ]
+    assert offenders == [], f"bytecode artifacts committed: {offenders}"
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    assert "*.py[cod]" in gitignore
