@@ -12,6 +12,9 @@ Public API highlights
 - :class:`repro.baselines.mpi_ps.MPIClusterBaseline` — the in-memory MPI
   parameter-server baseline the paper compares against.
 - :mod:`repro.hashing.op_osrp` — the OP+OSRP hashing study of Section 2.
+- :mod:`repro.ckpt` — crash-consistent checkpoint/restore of the
+  three-tier store plus :class:`repro.ckpt.FailureInjector` for
+  kill-and-recover experiments.
 """
 
 from repro.config import PAPER_MODELS, ClusterConfig, ModelSpec, scaled_model

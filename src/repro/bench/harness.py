@@ -40,6 +40,7 @@ __all__ = [
     "run_fig3b_auc",
     "run_op_osrp_study",
     "run_pipeline_overlap",
+    "run_checkpoint_overhead",
     "small_cluster_config",
 ]
 
@@ -358,6 +359,86 @@ def run_pipeline_overlap(
             else 0.0
         ),
         "pipelined_throughput": run.throughput(),
+        "parameter_parity": sparse_equal and dense_equal,
+    }
+
+
+def run_checkpoint_overhead(
+    spec: ModelSpec | None = None,
+    *,
+    n_rounds: int = 8,
+    checkpoint_every: int = 3,
+    batch_size: int = 256,
+    kill_node: int = 1,
+    kill_after_round: int = 4,
+    seed: int = 0,
+    directory: str | None = None,
+) -> dict:
+    """Checkpoint overhead and failure-recovery cost (paper Section 7).
+
+    Trains one cluster straight through as the no-failure baseline, then
+    an identical cluster under the :class:`~repro.ckpt.FailureInjector`
+    (snapshot every ``checkpoint_every`` rounds, node ``kill_node``
+    killed after round ``kill_after_round``).  Reports the snapshot
+    overhead relative to training time, the recovery breakdown (restore
+    + replay), and a bit-exact parity check of the recovered cluster
+    against the run that never failed.
+    """
+    import tempfile
+
+    from repro.ckpt import FailureInjector
+
+    spec = spec or functional_model()
+    cfg = small_cluster_config(seed=seed)
+
+    def build() -> HPSCluster:
+        return HPSCluster(spec, cfg, functional_batch_size=batch_size)
+
+    baseline = build()
+    base_stats = baseline.train(n_rounds)
+    train_seconds = sum(sum(s.pipeline_stage_seconds) for s in base_stats)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        injector = FailureInjector(
+            directory or tmp, checkpoint_every=checkpoint_every
+        )
+        recovered, report = injector.run(
+            build(),
+            n_rounds,
+            kill_node=kill_node,
+            kill_after_round=kill_after_round,
+        )
+
+    probe = baseline.generator.batch(10_000, 2048).unique_keys()
+    sparse_equal = bool(
+        np.array_equal(
+            baseline.lookup_embeddings(probe), recovered.lookup_embeddings(probe)
+        )
+    )
+    dense_equal = all(
+        np.array_equal(a, b)
+        for a, b in zip(
+            baseline.nodes[0].model.dense_state(),
+            recovered.nodes[0].model.dense_state(),
+        )
+    )
+    return {
+        "n_rounds": n_rounds,
+        "checkpoint_every": checkpoint_every,
+        "train_seconds": train_seconds,
+        "n_checkpoints": len(report.checkpoints),
+        "checkpoint_seconds": report.checkpoint_seconds,
+        "checkpoint_bytes": report.checkpoint_nbytes,
+        "checkpoint_overhead": (
+            report.checkpoint_seconds / train_seconds if train_seconds else 0.0
+        ),
+        "kill_node": report.kill_node,
+        "kill_after_round": report.kill_after_round,
+        "checkpoint_round": report.checkpoint_round,
+        "rounds_replayed": report.rounds_replayed,
+        "restore_seconds": report.restore_seconds,
+        "replay_seconds": report.replay_seconds,
+        "recovery_seconds": report.recovery_seconds,
         "parameter_parity": sparse_equal and dense_equal,
     }
 

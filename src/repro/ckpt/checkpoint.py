@@ -1,0 +1,294 @@
+"""Cluster-level checkpoint save/restore.
+
+:func:`save_cluster` snapshots a quiescent
+:class:`~repro.core.cluster.HPSCluster` into a checkpoint directory;
+:func:`restore_cluster` rebuilds a cluster from one.  Both charge the
+simulated cost of moving the snapshot to/from the distributed FS through
+each node's :class:`~repro.hardware.ledger.CostLedger` (categories
+``ckpt_write`` / ``ckpt_read``) using the node's HDFS model — nodes
+snapshot in parallel, so the cluster-level cost is the slowest node.
+
+Resume parity: batches are pure functions of ``(seed, index)`` and every
+piece of mutable training state is captured (dense tower, dense/sparse
+optimizer state, MEM cache contents *and* replacement order, SSD file
+layout with stale counters, stream position), so ``train(k) + save +
+restore + train(m)`` is bit-identical to ``train(k + m)`` in both
+lockstep and pipelined modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.ckpt import format as fmt
+from repro.ckpt.format import (
+    DENSE_SHARD,
+    FORMAT_VERSION,
+    CheckpointError,
+    fingerprint,
+    node_shard_name,
+)
+from repro.config import ClusterConfig, ModelSpec
+
+__all__ = ["CheckpointStats", "save_cluster", "restore_cluster"]
+
+
+@dataclass(frozen=True)
+class CheckpointStats:
+    """Cost accounting for one save or restore."""
+
+    op: str  # "save" | "restore"
+    directory: str
+    rounds_completed: int
+    #: Cluster critical path — nodes move their shards in parallel.
+    seconds: float
+    nbytes: int
+    per_node_seconds: tuple[float, ...]
+
+
+# ----------------------------------------------------------------------
+def _config_payload(cluster) -> dict:
+    """The JSON-able identity a checkpoint is only valid against.
+
+    Covers everything that shapes training semantics: model/cluster
+    config, optimizer identities (the sparse value layout in particular),
+    and the data stream's RNG identity (seed, skew, batch size) — batch
+    ``i`` is a pure function of these, which is what makes replay exact.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "model_spec": asdict(cluster.model_spec),
+        "cluster_config": asdict(cluster.config),
+        "sparse_optimizer": cluster.sparse_optimizer.spec(),
+        "dense_optimizer": cluster.nodes[0].dense_optimizer.spec(),
+        "data_seed": cluster.generator.seed,
+        "zipf_exponent": cluster.generator.zipf_exponent,
+        "noise": cluster.generator.noise,
+        "functional_batch_size": cluster.functional_batch_size,
+    }
+
+
+def _write_shard(directory: str, name: str, arrays: dict) -> tuple[int, str]:
+    """Serialize ``arrays`` to an ``.npz`` shard; returns (bytes, digest).
+
+    The shard is built in memory so its digest is of exactly what was
+    committed, then written durably (temp + ``os.replace``).
+    """
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    data = buf.getvalue()
+    fmt.atomic_write_bytes(os.path.join(directory, name), data)
+    return len(data), hashlib.sha256(data).hexdigest()
+
+
+def _hdfs_transfer_seconds(node, nbytes: int) -> float:
+    """Checkpoint traffic prices through the node's HDFS stream model."""
+    return node.hdfs.transfer_seconds(nbytes)
+
+
+# ----------------------------------------------------------------------
+def save_cluster(cluster, directory: str) -> CheckpointStats:
+    """Materialize a checkpoint of ``cluster`` into ``directory``.
+
+    The cluster must be quiescent (no round staged between HBM load and
+    write-back) — both training modes are quiescent between ``train`` /
+    ``train_pipelined`` calls.  The manifest is invalidated first and
+    committed last, so a crash mid-save can never leave a directory that
+    reads back as a valid-but-inconsistent checkpoint.
+    """
+    if cluster._staged_rounds:
+        raise CheckpointError(
+            "cannot checkpoint: a round has working parameters staged in "
+            "HBM — checkpoints are only valid at a round boundary"
+        )
+    os.makedirs(directory, exist_ok=True)
+    fmt.invalidate(directory)
+
+    shards: dict[str, str] = {}
+    # Dense replica + dense optimizer state (identical on every node by
+    # the all-reduce invariant; node 0's copy is canonical).
+    dense: dict[str, np.ndarray] = dict(cluster.nodes[0].model.mlp.state_dict())
+    for i, acc in enumerate(cluster.nodes[0].dense_optimizer.get_state()):
+        dense[f"adagrad_acc_{i}"] = acc
+    dense_bytes, digest = _write_shard(directory, DENSE_SHARD, dense)
+    shards[DENSE_SHARD] = digest
+
+    node_bytes: list[int] = []
+    for node in cluster.nodes:
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in node.mem_ps.export_state().items():
+            arrays[f"mem_{key}"] = value
+        for key, value in node.ssd_ps.export_state().items():
+            arrays[f"ssd_{key}"] = value
+        arrays["hdfs_batches_read"] = np.int64(node.hdfs.batches_read)
+        arrays["hdfs_bytes_read"] = np.int64(node.hdfs.bytes_read)
+        name = node_shard_name(node.node_id)
+        nbytes, digest = _write_shard(directory, name, arrays)
+        shards[name] = digest
+        node_bytes.append(nbytes)
+
+    payload = _config_payload(cluster)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "fingerprint": fingerprint(payload),
+        "config": payload,
+        "rounds_completed": cluster.rounds_completed,
+        "n_nodes": cluster.n_nodes,
+        "shards": shards,
+    }
+    manifest_bytes = fmt.write_manifest(directory, manifest)
+
+    # Simulated cost: every node streams its own shard to the distributed
+    # FS in parallel; node 0 additionally commits the dense replica and
+    # the manifest.
+    per_node: list[float] = []
+    for node, nbytes in zip(cluster.nodes, node_bytes):
+        total = nbytes + (
+            dense_bytes + manifest_bytes if node.node_id == 0 else 0
+        )
+        t = _hdfs_transfer_seconds(node, total)
+        node.ledger.add("ckpt_write", t)
+        per_node.append(t)
+    return CheckpointStats(
+        op="save",
+        directory=directory,
+        rounds_completed=cluster.rounds_completed,
+        seconds=max(per_node),
+        nbytes=sum(node_bytes) + dense_bytes + manifest_bytes,
+        per_node_seconds=tuple(per_node),
+    )
+
+
+# ----------------------------------------------------------------------
+def _diff_hint(saved: dict, current: dict) -> str:
+    # Compare by canonical digest, not equality: the saved payload went
+    # through JSON (tuples became lists), the current one did not.
+    diffs = [
+        key
+        for key in sorted(set(saved) | set(current))
+        if fingerprint({"v": saved.get(key)})
+        != fingerprint({"v": current.get(key)})
+    ]
+    return ", ".join(diffs) if diffs else "unknown"
+
+
+def restore_cluster(
+    cluster_cls,
+    directory: str,
+    cluster_config: ClusterConfig | None = None,
+    *,
+    model_spec: ModelSpec | None = None,
+    sparse_optimizer=None,
+    hardware=None,
+    data_seed: int | None = None,
+    functional_batch_size: int | None = None,
+    zipf_exponent: float | None = None,
+    ssd_directory: str | None = None,
+):
+    """Rebuild a cluster from a committed checkpoint.
+
+    Construction parameters left as ``None`` are taken from the manifest;
+    parameters passed explicitly must hash to the saved configuration
+    fingerprint (a checkpoint restored under a different config would
+    silently train a different model, so mismatches are errors, not
+    warnings).  Every shard's digest is verified before any state loads.
+    """
+    manifest = fmt.read_manifest(directory)
+    saved = manifest["config"]
+    if model_spec is None:
+        kwargs = dict(saved["model_spec"])
+        kwargs["hidden_layers"] = tuple(kwargs["hidden_layers"])
+        model_spec = ModelSpec(**kwargs)
+    if cluster_config is None:
+        cluster_config = ClusterConfig(**saved["cluster_config"])
+    cluster = cluster_cls(
+        model_spec,
+        cluster_config,
+        sparse_optimizer=sparse_optimizer,
+        hardware=hardware,
+        data_seed=saved["data_seed"] if data_seed is None else data_seed,
+        functional_batch_size=(
+            saved["functional_batch_size"]
+            if functional_batch_size is None
+            else functional_batch_size
+        ),
+        zipf_exponent=(
+            saved["zipf_exponent"] if zipf_exponent is None else zipf_exponent
+        ),
+        ssd_directory=ssd_directory,
+    )
+    current = _config_payload(cluster)
+    if fingerprint(current) != manifest["fingerprint"]:
+        raise CheckpointError(
+            "checkpoint configuration mismatch (differs in: "
+            f"{_diff_hint(saved, current)}) — refusing to restore"
+        )
+    if int(manifest["n_nodes"]) != cluster.n_nodes:
+        raise CheckpointError("checkpoint n_nodes does not match cluster")
+
+    # Verify every shard digest up front: a truncated or missing shard
+    # fails the restore before any state has been loaded.
+    shards = dict(manifest["shards"])
+    if DENSE_SHARD not in shards:
+        raise CheckpointError("checkpoint manifest lists no dense shard")
+    for node in cluster.nodes:
+        name = node_shard_name(node.node_id)
+        if name not in shards:
+            raise CheckpointError(f"checkpoint manifest lists no shard {name!r}")
+    verified = {
+        name: fmt.verify_shard(directory, name, digest)
+        for name, digest in shards.items()
+    }
+
+    dense_path = verified[DENSE_SHARD]
+    with np.load(dense_path) as z:
+        dense = {key: z[key] for key in z.files}
+    mlp_state = {k: v for k, v in dense.items() if k.startswith("layer")}
+    acc = [
+        dense[f"adagrad_acc_{i}"]
+        for i in range(sum(k.startswith("adagrad_acc_") for k in dense))
+    ]
+    dense_bytes = os.path.getsize(dense_path)
+    manifest_bytes = os.path.getsize(os.path.join(directory, fmt.MANIFEST_NAME))
+
+    per_node: list[float] = []
+    for node in cluster.nodes:
+        path = verified[node_shard_name(node.node_id)]
+        with np.load(path) as z:
+            arrays = {key: z[key] for key in z.files}
+        node.model.mlp.load_state_dict(mlp_state)
+        node.dense_optimizer.set_state([a.copy() for a in acc])
+        node.mem_ps.load_state(
+            {k[4:]: v for k, v in arrays.items() if k.startswith("mem_")}
+        )
+        node.ssd_ps.load_state(
+            {k[4:]: v for k, v in arrays.items() if k.startswith("ssd_")}
+        )
+        node.hdfs.batches_read = int(arrays["hdfs_batches_read"])
+        node.hdfs.bytes_read = int(arrays["hdfs_bytes_read"])
+        # Every node pulls its own shard plus the shared dense replica
+        # and manifest back from the distributed FS.
+        t = _hdfs_transfer_seconds(
+            node, os.path.getsize(path) + dense_bytes + manifest_bytes
+        )
+        node.ledger.add("ckpt_read", t)
+        per_node.append(t)
+
+    cluster.rounds_completed = int(manifest["rounds_completed"])
+    cluster.restore_stats = CheckpointStats(
+        op="restore",
+        directory=directory,
+        rounds_completed=cluster.rounds_completed,
+        seconds=max(per_node),
+        nbytes=sum(
+            os.path.getsize(os.path.join(directory, name)) for name in shards
+        )
+        + manifest_bytes,
+        per_node_seconds=tuple(per_node),
+    )
+    return cluster

@@ -1,0 +1,147 @@
+"""Failure injection: kill a node mid-run, recover via restore + replay.
+
+The paper's deployment tolerates machine failures by replaying from the
+last materialized snapshot.  :class:`FailureInjector` reproduces that
+protocol deterministically: it drives a cluster round by round, taking a
+checkpoint every ``checkpoint_every`` rounds, kills a chosen node after a
+chosen round (training is batch-synchronous, so losing one node's MEM/HBM
+state aborts the whole job), then recovers by restoring the newest
+committed checkpoint and replaying the lost rounds.  Because replayed
+batches are pure functions of ``(seed, index)``, the recovered cluster is
+bit-identical to a run that never failed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.ckpt.checkpoint import CheckpointStats
+from repro.ckpt.format import CheckpointError, checkpoint_dir_name
+
+__all__ = ["FailureInjector", "RecoveryReport"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one injected failure cost to recover from."""
+
+    kill_node: int
+    #: The failure strikes after this (0-based) global round completes.
+    kill_after_round: int
+    #: ``rounds_completed`` of the checkpoint recovery restarted from.
+    checkpoint_round: int
+    rounds_replayed: int
+    restore_seconds: float
+    #: Simulated serial seconds spent re-running the lost rounds.
+    replay_seconds: float
+    #: Checkpointing overhead paid across the whole run (all snapshots).
+    checkpoint_seconds: float
+    checkpoint_nbytes: int
+    checkpoints: tuple[CheckpointStats, ...] = field(default=())
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Downtime: reading the snapshot back plus redoing lost work."""
+        return self.restore_seconds + self.replay_seconds
+
+
+class FailureInjector:
+    """Deterministic crash/recovery driver over an ``HPSCluster``."""
+
+    def __init__(self, directory: str, *, checkpoint_every: int = 2) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.directory = directory
+        self.checkpoint_every = checkpoint_every
+
+    # ------------------------------------------------------------------
+    def _checkpoint_dir(self, rounds_completed: int) -> str:
+        return os.path.join(self.directory, checkpoint_dir_name(rounds_completed))
+
+    def _round_seconds(self, stats) -> float:
+        return float(sum(stats.pipeline_stage_seconds))
+
+    def run(
+        self,
+        cluster,
+        n_rounds: int,
+        *,
+        kill_node: int = 0,
+        kill_after_round: int,
+        restore_kwargs: dict | None = None,
+    ):
+        """Train to ``n_rounds``, surviving one injected node failure.
+
+        Returns ``(cluster, report)`` — ``cluster`` is the *recovered*
+        cluster (the one passed in is dead the moment the failure fires;
+        its in-memory state must not be reused).  ``restore_kwargs`` is
+        forwarded to ``HPSCluster.restore`` for deployments built with a
+        non-default optimizer or hardware model.
+        """
+        base = cluster.rounds_completed
+        if not base <= kill_after_round < n_rounds:
+            raise ValueError(
+                "kill_after_round must fall inside the requested rounds"
+            )
+        if kill_node < 0 or kill_node >= cluster.n_nodes:
+            raise ValueError("kill_node out of range")
+
+        checkpoints: list[CheckpointStats] = []
+
+        def take_checkpoint() -> None:
+            checkpoints.append(
+                cluster.save_checkpoint(
+                    self._checkpoint_dir(cluster.rounds_completed)
+                )
+            )
+
+        # Round-0 snapshot: recovery never has to fall back to "retrain
+        # from scratch with no checkpoint to restore".
+        take_checkpoint()
+        restore_seconds = 0.0
+        replay_seconds = 0.0
+        checkpoint_round = -1
+        rounds_replayed = 0
+        r = base
+        while r < n_rounds:
+            cluster.train_round()
+            if r == kill_after_round:
+                # Node `kill_node` dies before the next snapshot commits;
+                # batch-synchronous training cannot proceed without it,
+                # and the cluster's volatile state (MEM caches, HBM
+                # tables, dense replicas) is lost with it.  Recovery uses
+                # the newest snapshot *this run* wrote — the directory
+                # may also hold stale round_* checkpoints from earlier
+                # runs with a different config, which must not be picked.
+                own = [c for c in checkpoints if c.rounds_completed <= r]
+                if not own:
+                    raise CheckpointError(
+                        "no committed checkpoint to recover from"
+                    )
+                newest = max(own, key=lambda c: c.rounds_completed)
+                cluster = type(cluster).restore(
+                    newest.directory, **(restore_kwargs or {})
+                )
+                restore_seconds = cluster.restore_stats.seconds
+                checkpoint_round = cluster.rounds_completed
+                rounds_replayed = (r + 1) - checkpoint_round
+                # Replay the lost rounds; identical work, so the replayed
+                # rounds land the cluster exactly where round r left it.
+                for _ in range(rounds_replayed):
+                    replay_seconds += self._round_seconds(cluster.train_round())
+            if (r + 1 - base) % self.checkpoint_every == 0:
+                take_checkpoint()
+            r = cluster.rounds_completed
+        report = RecoveryReport(
+            kill_node=kill_node,
+            kill_after_round=kill_after_round,
+            checkpoint_round=checkpoint_round,
+            rounds_replayed=rounds_replayed,
+            restore_seconds=restore_seconds,
+            replay_seconds=replay_seconds,
+            checkpoint_seconds=sum(c.seconds for c in checkpoints),
+            checkpoint_nbytes=sum(c.nbytes for c in checkpoints),
+            checkpoints=tuple(checkpoints),
+        )
+        return cluster, report

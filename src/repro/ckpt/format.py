@@ -1,0 +1,158 @@
+"""On-disk checkpoint format: versioned manifest + content-hashed shards.
+
+A checkpoint directory holds::
+
+    manifest.json        # commit record: version, fingerprint, shard digests
+    dense.npz            # dense tower parameters + dense optimizer state
+    node_0000.npz        # node 0: MEM cache + SSD file store + HDFS counters
+    node_0001.npz        # ...one shard per node
+
+The manifest is the *commit point*: it is deleted before any shard is
+touched and atomically rewritten (temp file + ``os.replace``) only after
+every shard is durable, so an interrupted save leaves either the old
+checkpoint intact or an uncommitted directory that :func:`read_manifest`
+rejects — never a mix.  Each shard's SHA-256 is recorded in the manifest
+and verified on restore, so a truncated or tampered shard is detected
+before any state is loaded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.utils.io import atomic_write_bytes
+
+__all__ = [
+    "CHECKPOINT_DIR_PREFIX",
+    "CheckpointError",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "atomic_write_bytes",
+    "checkpoint_dir_name",
+    "fingerprint",
+    "latest_checkpoint",
+    "read_manifest",
+    "sha256_file",
+    "write_manifest",
+]
+
+#: Bump when the manifest schema or shard layout changes incompatibly.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+DENSE_SHARD = "dense.npz"
+
+#: Per-snapshot subdirectory prefix used by every periodic writer
+#: (Trainer, FailureInjector) and by :func:`latest_checkpoint`'s scan.
+CHECKPOINT_DIR_PREFIX = "round_"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is missing, incomplete, or incompatible."""
+
+
+def node_shard_name(node_id: int) -> str:
+    return f"node_{node_id:04d}.npz"
+
+
+def checkpoint_dir_name(rounds_completed: int) -> str:
+    """Canonical snapshot-subdirectory name for a round boundary."""
+    return f"{CHECKPOINT_DIR_PREFIX}{rounds_completed:06d}"
+
+
+def fingerprint(payload: dict) -> str:
+    """Stable hash of a JSON-able configuration payload.
+
+    Canonical JSON (sorted keys, no whitespace) keeps the digest
+    independent of dict ordering and of whether sequences arrive as
+    tuples or lists.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def write_manifest(directory: str, manifest: dict) -> int:
+    """Atomically commit ``manifest``; returns its size in bytes."""
+    blob = json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8")
+    atomic_write_bytes(os.path.join(directory, MANIFEST_NAME), blob)
+    return len(blob)
+
+
+def invalidate(directory: str) -> None:
+    """Remove the commit record before shards are mutated in place."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(path):
+        os.remove(path)
+
+
+def read_manifest(directory: str) -> dict:
+    """Load and version-check a committed manifest."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.isfile(path):
+        raise CheckpointError(
+            f"no committed checkpoint at {directory!r} (missing {MANIFEST_NAME})"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint manifest: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format v{version} is not supported "
+            f"(this build reads v{FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def verify_shard(directory: str, name: str, expected_digest: str) -> str:
+    """Existence + integrity check for one shard; returns its path."""
+    path = os.path.join(directory, name)
+    if not os.path.isfile(path):
+        raise CheckpointError(f"checkpoint shard {name!r} is missing")
+    digest = sha256_file(path)
+    if digest != expected_digest:
+        raise CheckpointError(
+            f"checkpoint shard {name!r} is corrupt "
+            f"(sha256 {digest[:12]}… != manifest {expected_digest[:12]}…)"
+        )
+    return path
+
+
+def latest_checkpoint(directory: str, upto_round: int | None = None) -> str | None:
+    """Newest committed checkpoint under ``directory``.
+
+    Scans for :func:`checkpoint_dir_name` subdirectories (the layout the
+    trainer and :class:`~repro.ckpt.failure.FailureInjector` write),
+    keeping only those with a committed manifest at
+    ``rounds_completed <= upto_round``; returns the path of the newest,
+    or None.
+    """
+    if not os.path.isdir(directory):
+        return None
+    best: tuple[int, str] | None = None
+    for entry in sorted(os.listdir(directory)):
+        sub = os.path.join(directory, entry)
+        if not (entry.startswith(CHECKPOINT_DIR_PREFIX) and os.path.isdir(sub)):
+            continue
+        try:
+            manifest = read_manifest(sub)
+        except CheckpointError:
+            continue
+        rounds = int(manifest["rounds_completed"])
+        if upto_round is not None and rounds > upto_round:
+            continue
+        if best is None or rounds > best[0]:
+            best = (rounds, sub)
+    return best[1] if best else None

@@ -246,8 +246,17 @@ class HPSCluster:
         peers = [n.mem_ps for n in self.nodes]
         for node in self.nodes:
             node.mem_ps.peers = peers
+        self.functional_batch_size = functional_batch_size
         self.rounds_completed = 0
         self.history: list[BatchStats] = []
+        #: Rounds whose working parameters are currently staged in HBM
+        #: (between stage_load and the end of stage_train).  Non-zero
+        #: means cross-tier reads and checkpoints are unsafe — freshly
+        #: trained values may exist only in a node's HBM hash table.
+        self._staged_rounds = 0
+        #: Cost accounting of the restore that produced this cluster
+        #: (set by :meth:`restore`; None for a freshly built cluster).
+        self.restore_stats = None
 
     # ------------------------------------------------------------------
     @property
@@ -319,6 +328,7 @@ class HPSCluster:
             load_s = max(load_s, node.hbm_ps.load_working_set(working, values))
         ctx.shards = [t.batch.shard(n_gpus * mb_rounds) for t in ctx.timed]
         ctx.cpu_partition_seconds = cpu_s + load_s
+        self._staged_rounds += 1
         return ctx.cpu_partition_seconds
 
     def stage_train(self, ctx: RoundContext) -> float:
@@ -457,6 +467,7 @@ class HPSCluster:
         ctx.stats = stats
         self.history.append(stats)
         self.rounds_completed += 1
+        self._staged_rounds -= 1
         return worker_critical_s + allreduce_s + absorb_s
 
     # ------------------------------------------------------------------
@@ -508,12 +519,35 @@ class HPSCluster:
         return PipelinedRun([ctxs[b].stats for b in range(n_rounds)], run)
 
     # ------------------------------------------------------------------
+    def _require_round_boundary(self, what: str) -> None:
+        """Cross-tier reads/snapshots are only coherent between rounds.
+
+        Between ``stage_load`` and the end of ``stage_train`` the freshest
+        copy of a working parameter lives *only* in a node's HBM hash
+        table — the MEM/SSD tiers see it again at write-back.  A MEM/SSD
+        read in that window would silently serve stale values (or fall
+        through to the fresh-key init), so it is an error, not a best
+        effort.
+        """
+        if self._staged_rounds:
+            raise RuntimeError(
+                f"{what} is only valid at a round boundary: "
+                f"{self._staged_rounds} round(s) currently have working "
+                "parameters staged in HBM (mid-pipeline state precedes "
+                "the MEM-PS write-back)"
+            )
+
     def lookup_embeddings(self, keys: np.ndarray) -> np.ndarray:
         """Read-only embedding lookup across owners (for evaluation).
 
         Unknown keys return the optimizer's deterministic zero-ish init
         without being persisted, and cache statistics are untouched.
+        Only callable at a round boundary — every completed round's
+        write-back has landed in the MEM tier, so MEM cache + SSD hold
+        the newest copy of every key (enforced via
+        :meth:`_require_round_boundary`).
         """
+        self._require_round_boundary("lookup_embeddings")
         keys = as_keys(keys)
         opt = self.sparse_optimizer
         values = np.zeros((keys.size, opt.value_dim), dtype=np.float32)
@@ -549,3 +583,59 @@ class HPSCluster:
         from repro.nn.metrics import auc
 
         return auc(batch.labels, self.predict(batch))
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (repro.ckpt)
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, directory: str):
+        """Materialize a crash-consistent snapshot into ``directory``.
+
+        Captures everything ``train(k) + restore + train(m)`` needs to be
+        bit-identical to ``train(k + m)``: dense tower + optimizer state,
+        each node's MEM cache (contents and replacement order), the SSD
+        file store (files, mapping, stale counters), and the stream
+        position.  Only valid at a round boundary.  Simulated write cost
+        is charged per node under ``ckpt_write``; returns
+        :class:`~repro.ckpt.checkpoint.CheckpointStats`.
+        """
+        from repro.ckpt.checkpoint import save_cluster
+
+        return save_cluster(self, directory)
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        cluster_config: ClusterConfig | None = None,
+        *,
+        model_spec: ModelSpec | None = None,
+        sparse_optimizer: SparseOptimizer | None = None,
+        hardware: NodeHardware | None = None,
+        data_seed: int | None = None,
+        functional_batch_size: int | None = None,
+        zipf_exponent: float | None = None,
+        ssd_directory: str | None = None,
+    ) -> "HPSCluster":
+        """Rebuild a cluster from a checkpoint written by
+        :meth:`save_checkpoint`.
+
+        Parameters left as ``None`` come from the manifest; explicitly
+        passed configuration must match the saved fingerprint or
+        :class:`~repro.ckpt.format.CheckpointError` is raised.  Simulated
+        read cost lands under ``ckpt_read``; the resulting cluster's
+        :attr:`restore_stats` carries the accounting.
+        """
+        from repro.ckpt.checkpoint import restore_cluster
+
+        return restore_cluster(
+            cls,
+            directory,
+            cluster_config,
+            model_spec=model_spec,
+            sparse_optimizer=sparse_optimizer,
+            hardware=hardware,
+            data_seed=data_seed,
+            functional_batch_size=functional_batch_size,
+            zipf_exponent=zipf_exponent,
+            ssd_directory=ssd_directory,
+        )

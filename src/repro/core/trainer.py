@@ -13,6 +13,7 @@ Fig. 3(b) losslessness claim, verified exactly in the test suite.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,9 @@ class TrainingHistory:
     batch_stats: list[BatchStats] = field(default_factory=list)
     losses: list[float] = field(default_factory=list)
     aucs: list[float] = field(default_factory=list)
+    #: :class:`~repro.ckpt.checkpoint.CheckpointStats` of every snapshot
+    #: the trainer materialized during :meth:`Trainer.run`.
+    checkpoints: list = field(default_factory=list)
 
     @property
     def n_rounds(self) -> int:
@@ -51,9 +55,20 @@ class TrainingHistory:
         total_seconds = sum(s.bottleneck_seconds for s in self.batch_stats)
         return total_examples / total_seconds if total_seconds else 0.0
 
+    def checkpoint_seconds(self) -> float:
+        """Total simulated time spent materializing snapshots."""
+        return sum(c.seconds for c in self.checkpoints)
+
 
 class Trainer:
-    """Drives an HPS cluster and records quality/timing history."""
+    """Drives an HPS cluster and records quality/timing history.
+
+    With ``checkpoint_dir`` set, the trainer materializes a
+    batch-granular snapshot every ``checkpoint_every`` rounds (under
+    ``<checkpoint_dir>/round_<rounds_completed>``), so a killed run can
+    resume via :meth:`HPSCluster.restore` from the newest committed
+    snapshot and replay forward bit-identically.
+    """
 
     def __init__(
         self,
@@ -61,11 +76,30 @@ class Trainer:
         *,
         eval_batch: Batch | None = None,
         eval_every: int = 0,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
     ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.cluster = cluster
         self.eval_batch = eval_batch
         self.eval_every = eval_every
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
         self.history = TrainingHistory()
+
+    def _maybe_checkpoint(self, round_in_run: int) -> None:
+        if self.checkpoint_dir is None:
+            return
+        if round_in_run % self.checkpoint_every:
+            return
+        from repro.ckpt.format import checkpoint_dir_name
+
+        directory = os.path.join(
+            self.checkpoint_dir,
+            checkpoint_dir_name(self.cluster.rounds_completed),
+        )
+        self.history.checkpoints.append(self.cluster.save_checkpoint(directory))
 
     def run(self, n_rounds: int) -> TrainingHistory:
         for i in range(n_rounds):
@@ -78,6 +112,7 @@ class Trainer:
                 and (i + 1) % self.eval_every == 0
             ):
                 self.history.aucs.append(self.cluster.evaluate_auc(self.eval_batch))
+            self._maybe_checkpoint(i + 1)
         return self.history
 
     def final_auc(self) -> float:

@@ -57,10 +57,16 @@ class HDFSStream:
         self.batches_read = 0
         self.bytes_read = 0
 
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Simulated seconds to move ``n_bytes`` to/from the distributed
+        FS — the one place the latency + bytes/bandwidth cost model lives
+        (batch reads and checkpoint shard traffic both price through it).
+        """
+        return self.spec.latency_s + n_bytes / self.spec.bandwidth
+
     def read_time(self, batch: Batch) -> float:
         """Simulated seconds to stream ``batch`` from HDFS."""
-        n_bytes = batch.nbytes_raw_log()
-        return self.spec.latency_s + n_bytes / self.spec.bandwidth
+        return self.transfer_seconds(batch.nbytes_raw_log())
 
     def read(self, global_index: int) -> TimedBatch:
         """Fetch one batch by global index, charging the ledger."""

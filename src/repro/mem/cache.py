@@ -1079,6 +1079,82 @@ class CombinedCache:
         order = np.argsort(keys)
         return keys[order], values[order]
 
+    def pinned_count(self) -> int:
+        return self.lru.pinned_count()
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Replacement-exact snapshot of both tiers (checkpointing).
+
+        Per tier the entries come out in *recency order* (oldest tick
+        first) together with the replacement metadata that decides future
+        evictions — LRU access counts, LFU frequencies.  Re-ingesting the
+        snapshot through :meth:`load_state` therefore reproduces not just
+        the resident values but the exact future eviction sequence: ticks
+        are only ever compared relatively, so re-assigning them in
+        snapshot order is equivalence-preserving.
+
+        The snapshot is only well-defined at a batch boundary: pinned
+        entries and parked promotion flush-outs belong to an in-flight
+        batch and have no on-disk meaning.
+        """
+        if self.lru.pinned_count():
+            raise RuntimeError(
+                "cannot snapshot a cache with pinned entries — finish the "
+                "in-flight batch first"
+            )
+        if self._pending_flush:
+            raise RuntimeError(
+                "cannot snapshot a cache with undrained pending flush-outs"
+            )
+        lru_rows, lru_keys = self.lru._items_in_order(self.lru._tick)
+        lfu_rows, lfu_keys = self.lfu._items_in_order(self.lfu._tick)
+        return {
+            "lru_keys": lru_keys.astype(KEY_DTYPE),
+            "lru_values": self.lru._values[lru_rows].copy(),
+            "lru_counts": self._counts[lru_rows].copy(),
+            "lfu_keys": lfu_keys.astype(KEY_DTYPE),
+            "lfu_values": self.lfu._values[lfu_rows].copy(),
+            "lfu_freqs": self.lfu._freq[lfu_rows].copy(),
+            "hits": np.int64(self.stats.hits),
+            "misses": np.int64(self.stats.misses),
+        }
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Rebuild both tiers from an :meth:`export_state` snapshot."""
+        lru_keys = as_keys(state["lru_keys"])
+        lfu_keys = as_keys(state["lfu_keys"])
+        lru_values = np.asarray(state["lru_values"], dtype=np.float32)
+        lfu_values = np.asarray(state["lfu_values"], dtype=np.float32)
+        if lru_values.shape != (lru_keys.size, self.value_dim) or (
+            lfu_values.shape != (lfu_keys.size, self.value_dim)
+        ):
+            raise ValueError("cache snapshot value shape mismatch")
+        if lru_keys.size > self.lru.capacity or lfu_keys.size > self.lfu.capacity:
+            raise ValueError(
+                "cache snapshot does not fit this cache's tier capacities"
+            )
+        self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim)
+        self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim)
+        self._counts = np.zeros(self.lru.capacity, dtype=np.int64)
+        self._pending_flush = []
+        # Oldest-first re-insertion assigns fresh ascending ticks, which
+        # preserves every relative recency comparison the policy makes.
+        if lfu_keys.size:
+            flushed = self.lfu.bulk_insert(
+                lfu_keys,
+                lfu_values,
+                np.asarray(state["lfu_freqs"], dtype=np.int64),
+            )
+            assert flushed[0].size == 0  # fits by the capacity check above
+        if lru_keys.size:
+            flush_k, _ = self.lru.put_batch(lru_keys, lru_values)
+            assert flush_k.size == 0
+            slots, found = self.lru._index.get(lru_keys)
+            assert bool(np.all(found))
+            self._counts[slots] = np.asarray(state["lru_counts"], dtype=np.int64)
+        self.stats.hits = int(state["hits"])
+        self.stats.misses = int(state["misses"])
+
     def flush_all(self) -> tuple[np.ndarray, np.ndarray]:
         """Drain everything (shutdown / checkpoint path)."""
         lru_rows, lru_keys = self.lru._items_in_order(self.lru._tick)

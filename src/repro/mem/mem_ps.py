@@ -274,3 +274,23 @@ class MemPS:
         if fk.size == 0:
             return 0.0
         return self.ssd_ps.dump(fk, fv).total_seconds
+
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Snapshot the MEM tier for a checkpoint shard.
+
+        Only valid at a round boundary: remote-pull pins must have been
+        released by :meth:`end_batch`, otherwise the cache snapshot would
+        capture in-flight working-set state that a restore cannot honour.
+        """
+        if self._served_keys:
+            raise RuntimeError(
+                "MEM-PS still holds remote-pull pins — checkpoint only at "
+                "a round boundary (after end_batch)"
+            )
+        return self.cache.export_state()
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore the MEM tier from an :meth:`export_state` snapshot."""
+        self.cache.load_state(state)
+        self._served_keys.clear()

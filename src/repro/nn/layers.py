@@ -135,3 +135,35 @@ class MLP:
             if p.shape != s.shape:
                 raise ValueError("state shape mismatch")
             p[...] = s
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Named parameter copies (``layer<i>.W`` / ``layer<i>.b``).
+
+        The names are stable across processes, so a checkpoint shard can
+        store them flat (e.g. in an ``.npz``) and a restore can detect a
+        tower-shape mismatch by key set rather than by position.
+        """
+        out: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.dense_layers()):
+            out[f"layer{i}.W"] = layer.W.copy()
+            out[f"layer{i}.b"] = layer.b.copy()
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        expected = {
+            name
+            for i in range(len(self.dense_layers()))
+            for name in (f"layer{i}.W", f"layer{i}.b")
+        }
+        if set(state) != expected:
+            raise ValueError(
+                f"dense state keys {sorted(state)} do not match the tower "
+                f"layout {sorted(expected)}"
+            )
+        for i, layer in enumerate(self.dense_layers()):
+            for attr, name in (("W", f"layer{i}.W"), ("b", f"layer{i}.b")):
+                p = getattr(layer, attr)
+                s = np.asarray(state[name], dtype=p.dtype)
+                if p.shape != s.shape:
+                    raise ValueError(f"state shape mismatch for {name}")
+                p[...] = s

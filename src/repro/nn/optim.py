@@ -37,6 +37,21 @@ class SparseOptimizer:
         self.dim = dim
         self.lr = lr
 
+    def spec(self) -> dict:
+        """Identity of this optimizer for checkpoint manifests.
+
+        Sparse optimizer *state* travels inside the value payload, so the
+        only thing a checkpoint must record is the value layout and the
+        hyperparameters — a restore with a different optimizer would
+        reinterpret the payload columns and silently corrupt training.
+        """
+        return {
+            "type": type(self).__name__,
+            "dim": self.dim,
+            "lr": self.lr,
+            "value_dim": self.value_dim,
+        }
+
     @property
     def value_dim(self) -> int:
         """Total floats stored per key (embedding + optimizer state)."""
@@ -113,6 +128,11 @@ class SparseAdagrad(SparseOptimizer):
             raise ValueError("eps must be positive")
         self.eps = eps
 
+    def spec(self) -> dict:
+        out = super().spec()
+        out["eps"] = self.eps
+        return out
+
     @property
     def value_dim(self) -> int:
         return 2 * self.dim
@@ -145,6 +165,19 @@ class DenseOptimizer:
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
         raise NotImplementedError
 
+    def spec(self) -> dict:
+        """Identity of this optimizer for checkpoint manifests."""
+        return {"type": type(self).__name__, "lr": self.lr}
+
+    def get_state(self) -> list[np.ndarray]:
+        """Copies of the optimizer's accumulator arrays (may be empty)."""
+        return []
+
+    def set_state(self, state: list[np.ndarray]) -> None:
+        """Restore accumulators saved by :meth:`get_state`."""
+        if state:
+            raise ValueError(f"{type(self).__name__} carries no state")
+
 
 class DenseSGD(DenseOptimizer):
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
@@ -168,3 +201,17 @@ class DenseAdagrad(DenseOptimizer):
         for p, g, a in zip(params, grads, self._acc):
             a += g.astype(np.float64) ** 2
             p -= (self.lr * g / (np.sqrt(a) + self.eps)).astype(p.dtype)
+
+    def spec(self) -> dict:
+        out = super().spec()
+        out["eps"] = self.eps
+        return out
+
+    def get_state(self) -> list[np.ndarray]:
+        return [a.copy() for a in self._acc] if self._acc is not None else []
+
+    def set_state(self, state: list[np.ndarray]) -> None:
+        if not state:
+            self._acc = None
+            return
+        self._acc = [np.asarray(a, dtype=np.float64).copy() for a in state]

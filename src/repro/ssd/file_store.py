@@ -15,6 +15,7 @@ want real I/O).  Timing always comes from the :class:`SSDDevice` model.
 
 from __future__ import annotations
 
+import io
 import os
 from dataclasses import dataclass
 
@@ -24,7 +25,8 @@ from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import SSDSpec
 from repro.hardware.ssd_device import SSDDevice
 from repro.store.slot_index import SlotIndex
-from repro.utils.keys import as_keys
+from repro.utils.io import atomic_write_bytes
+from repro.utils.keys import KEY_DTYPE, as_keys
 
 __all__ = ["FileStore", "ParameterFile", "ReadResult"]
 
@@ -129,11 +131,22 @@ class FileStore:
         return np.load(f.path)
 
     def _store_payload(self, f: ParameterFile, values: np.ndarray) -> None:
+        """Persist a file's payload; durable before it becomes visible.
+
+        The disk backend writes to a temp file, fsyncs, and ``os.replace``s
+        into the final name, so an interrupted write can never leave a
+        truncated ``.npy`` under the path the mapping will point at —
+        ``f.path`` (and with it the caller's mapping repoint) is only set
+        once the payload is fully on disk.
+        """
         if self.directory is None:
             f.values = values
-        else:
-            f.path = os.path.join(self.directory, f"params_{f.file_id:08d}.npy")
-            np.save(f.path, values)
+            return
+        path = os.path.join(self.directory, f"params_{f.file_id:08d}.npy")
+        buf = io.BytesIO()
+        np.save(buf, values)
+        atomic_write_bytes(path, buf.getvalue())
+        f.path = path
 
     # ------------------------------------------------------------------
     def write(self, keys: np.ndarray, values: np.ndarray) -> tuple[float, list[int]]:
@@ -214,10 +227,121 @@ class FileStore:
         return f.keys[live], self._payload(f)[live]
 
     def erase(self, file_id: int) -> None:
-        """Remove a file (compaction has rewritten its live rows)."""
-        f = self._files.pop(file_id)
-        if f.path is not None and os.path.exists(f.path):
+        """Remove a file (compaction has rewritten its live rows).
+
+        A disk-backed file whose ``.npy`` payload has vanished is *data
+        loss*, not a no-op: silently proceeding would let compaction
+        destroy the bookkeeping for rows whose only copy is already gone.
+        The memory backend has no payload file and erases trivially.
+        """
+        f = self._files[file_id]
+        if f.values is None and (f.path is None or not os.path.exists(f.path)):
+            raise FileNotFoundError(
+                f"parameter file {file_id} payload missing "
+                f"({f.path!r}) — refusing to erase lost data"
+            )
+        del self._files[file_id]
+        if f.path is not None:
             os.remove(f.path)
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Flat-array snapshot of files, payloads, mapping and counters.
+
+        Variable-length per-file payloads are packed into one concatenated
+        key/value pair plus an offsets array, so the snapshot can live in
+        a single ``.npz`` shard.  The mapping is saved explicitly (rather
+        than re-derived) so a restore can cross-check it against the stale
+        counters via :meth:`check_invariants`.
+        """
+        fids = sorted(self._files)
+        keys_parts = [self._files[fid].keys for fid in fids]
+        vals_parts = [self._payload(self._files[fid]) for fid in fids]
+        offsets = np.zeros(len(fids) + 1, dtype=np.int64)
+        if fids:
+            offsets[1:] = np.cumsum([k.size for k in keys_parts])
+        map_keys, map_fids = self._mapping.items()
+        order = np.argsort(map_keys)
+        return {
+            "file_ids": np.asarray(fids, dtype=np.int64),
+            "file_offsets": offsets,
+            "file_keys": (
+                np.concatenate(keys_parts)
+                if fids
+                else np.zeros(0, dtype=KEY_DTYPE)
+            ),
+            "file_values": (
+                np.concatenate(vals_parts, axis=0)
+                if fids
+                else np.zeros((0, self.value_dim), dtype=np.float32)
+            ),
+            "file_stale": np.asarray(
+                [self._files[fid].stale_count for fid in fids], dtype=np.int64
+            ),
+            "map_keys": map_keys[order].astype(KEY_DTYPE),
+            "map_fids": map_fids[order].astype(np.int64),
+            "next_file_id": np.int64(self._next_file_id),
+        }
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Rebuild the store from an :meth:`export_state` snapshot.
+
+        Replaces any current contents; payloads are re-materialized
+        through the store's own backend (disk-backed stores rewrite the
+        ``.npy`` files under their directory).  The snapshot is fully
+        validated — shapes, ``next_file_id``, mapping-vs-stale-counter
+        consistency — *before* anything is erased, so a snapshot rejected
+        as invalid leaves the store untouched.  (A hard I/O failure while
+        re-materializing payloads can still leave a partial rebuild;
+        checkpoint restores are immune because they load into a freshly
+        constructed, empty store.)
+        """
+        fids = np.asarray(state["file_ids"], dtype=np.int64)
+        offsets = np.asarray(state["file_offsets"], dtype=np.int64)
+        file_keys = as_keys(state["file_keys"])
+        file_values = np.asarray(state["file_values"], dtype=np.float32)
+        stale = np.asarray(state["file_stale"], dtype=np.int64)
+        map_keys_in = as_keys(state["map_keys"])
+        map_fids_in = np.asarray(state["map_fids"], dtype=np.int64)
+        next_file_id = int(state["next_file_id"])
+        if file_values.shape != (file_keys.size, self.value_dim):
+            raise ValueError("file-store snapshot value shape mismatch")
+        if offsets.shape != (fids.size + 1,) or (
+            fids.size and int(offsets[-1]) != file_keys.size
+        ):
+            raise ValueError("file-store snapshot offsets mismatch")
+        if fids.size and next_file_id <= int(fids.max()):
+            raise ValueError("file-store snapshot next_file_id is stale")
+        if map_fids_in.shape != map_keys_in.shape or (
+            np.unique(map_keys_in).size != map_keys_in.size
+        ):
+            raise ValueError("file-store snapshot mapping malformed")
+        # The mapping must agree with the stale counters file by file
+        # (the on-store check_invariants contract, applied to the arrays).
+        mapped_fids, mapped_counts = np.unique(map_fids_in, return_counts=True)
+        if not np.isin(mapped_fids, fids).all():
+            raise ValueError("file-store snapshot maps keys to unknown files")
+        live_of = dict(zip(mapped_fids.tolist(), mapped_counts.tolist()))
+        for i, fid in enumerate(fids.tolist()):
+            n_params = int(offsets[i + 1] - offsets[i])
+            if live_of.get(fid, 0) != n_params - int(stale[i]):
+                raise ValueError(
+                    f"file-store snapshot stale counter of file {fid} "
+                    "disagrees with its mapping"
+                )
+        for fid in list(self._files):
+            self.erase(fid)
+        self._mapping = SlotIndex(max(1024, int(state["map_keys"].size)))
+        for i, fid in enumerate(fids):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            f = ParameterFile(
+                int(fid), file_keys[lo:hi].copy(), stale_count=int(stale[i])
+            )
+            self._store_payload(f, file_values[lo:hi].copy())
+            self._files[int(fid)] = f
+        self._next_file_id = next_file_id
+        if map_keys_in.size:
+            self._mapping.set(map_keys_in, map_fids_in)
+        self.check_invariants()
 
     def check_invariants(self) -> None:
         """Debug/test hook: mapping and stale counters must agree."""

@@ -148,3 +148,25 @@ class SSDPS:
 
     def check_invariants(self) -> None:
         self.store.check_invariants()
+
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Snapshot the file store plus the facade's running counters.
+
+        Restoring the exact file layout (not just the live rows) matters:
+        stale fractions drive future compaction triggers, so a resumed
+        run only reproduces the original run's I/O schedule if the files
+        and their counters come back verbatim.
+        """
+        out = self.store.export_state()
+        out["load_seconds"] = np.float64(self.load_seconds)
+        out["dump_seconds"] = np.float64(self.dump_seconds)
+        out["total_compactions"] = np.int64(self.compactor.total_compactions)
+        return out
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore from an :meth:`export_state` snapshot."""
+        self.store.load_state(state)
+        self.load_seconds = float(state["load_seconds"])
+        self.dump_seconds = float(state["dump_seconds"])
+        self.compactor.total_compactions = int(state["total_compactions"])

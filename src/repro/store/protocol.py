@@ -39,8 +39,13 @@ class ParameterStore(Protocol):
         Apply ``new = fn(old)`` to the values of resident ``keys``
         in place (optimizer updates on the owning tier).
     ``items``
-        All resident ``(keys, values)``, sorted by key (checkpointing,
-        parity tests).
+        All resident ``(keys, values)``, sorted by key.  This is the
+        checkpoint subsystem's extraction hook (``repro.ckpt``) and the
+        parity tests' comparison surface: sorted-by-key output makes two
+        stores comparable regardless of internal layout, and tiers with
+        replacement state additionally expose ``export_state`` /
+        ``load_state`` so a restore reproduces future evictions exactly,
+        not just the resident values.
     """
 
     def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]: ...

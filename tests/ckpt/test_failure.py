@@ -1,0 +1,135 @@
+"""Failure injection: kill → restore → replay reaches the no-failure state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt import FailureInjector
+from repro.core.cluster import HPSCluster
+
+
+def build(tiny_spec, small_config):
+    return HPSCluster(tiny_spec, small_config, functional_batch_size=128)
+
+
+def assert_same_final_state(a: HPSCluster, b: HPSCluster) -> None:
+    probe = a.generator.batch(10_000, 1024).unique_keys()
+    assert np.array_equal(a.lookup_embeddings(probe), b.lookup_embeddings(probe))
+    for pa, pb in zip(
+        a.nodes[0].model.dense_state(), b.nodes[0].model.dense_state()
+    ):
+        assert np.array_equal(pa, pb)
+    eval_batch = a.generator.batch(20_000, 2048)
+    assert a.evaluate_auc(eval_batch) == b.evaluate_auc(eval_batch)
+
+
+def test_recovery_reaches_no_failure_state(tiny_spec, small_config, tmp_path):
+    baseline = build(tiny_spec, small_config)
+    baseline.train(6)
+
+    injector = FailureInjector(str(tmp_path), checkpoint_every=2)
+    recovered, report = injector.run(
+        build(tiny_spec, small_config), 6, kill_node=1, kill_after_round=3
+    )
+    assert recovered.rounds_completed == 6
+    assert report.kill_node == 1
+    # Kill after round 3 (4 rounds complete); newest snapshot is round 2.
+    assert report.checkpoint_round == 2
+    assert report.rounds_replayed == 2
+    assert report.restore_seconds > 0
+    assert report.replay_seconds > 0
+    assert report.recovery_seconds == pytest.approx(
+        report.restore_seconds + report.replay_seconds
+    )
+    assert_same_final_state(baseline, recovered)
+
+
+def test_kill_right_after_snapshot_replays_one_round(
+    tiny_spec, small_config, tmp_path
+):
+    baseline = build(tiny_spec, small_config)
+    baseline.train(5)
+
+    injector = FailureInjector(str(tmp_path), checkpoint_every=2)
+    recovered, report = injector.run(
+        build(tiny_spec, small_config), 5, kill_node=0, kill_after_round=2
+    )
+    # Rounds 0-2 complete, snapshot exists at round 2 — only round 2 is
+    # replayed (the kill fires before the next snapshot commits).
+    assert report.checkpoint_round == 2
+    assert report.rounds_replayed == 1
+    assert_same_final_state(baseline, recovered)
+
+
+def test_checkpoint_accounting_in_report(tiny_spec, small_config, tmp_path):
+    injector = FailureInjector(str(tmp_path), checkpoint_every=3)
+    _, report = injector.run(
+        build(tiny_spec, small_config), 4, kill_node=0, kill_after_round=1
+    )
+    # Round-0 snapshot + the cadence snapshot after round 2.
+    assert [c.rounds_completed for c in report.checkpoints] == [0, 3]
+    assert report.checkpoint_seconds == pytest.approx(
+        sum(c.seconds for c in report.checkpoints)
+    )
+    assert report.checkpoint_nbytes == sum(c.nbytes for c in report.checkpoints)
+
+
+def test_kill_before_any_cadence_snapshot_uses_round_zero(
+    tiny_spec, small_config, tmp_path
+):
+    baseline = build(tiny_spec, small_config)
+    baseline.train(3)
+
+    injector = FailureInjector(str(tmp_path), checkpoint_every=10)
+    recovered, report = injector.run(
+        build(tiny_spec, small_config), 3, kill_node=0, kill_after_round=1
+    )
+    assert report.checkpoint_round == 0  # fell back to the initial snapshot
+    assert report.rounds_replayed == 2
+    assert_same_final_state(baseline, recovered)
+
+
+def test_run_validates_arguments(tiny_spec, small_config, tmp_path):
+    injector = FailureInjector(str(tmp_path), checkpoint_every=2)
+    cluster = build(tiny_spec, small_config)
+    with pytest.raises(ValueError, match="kill_after_round"):
+        injector.run(cluster, 3, kill_after_round=3)
+    with pytest.raises(ValueError, match="kill_node"):
+        injector.run(cluster, 3, kill_node=9, kill_after_round=1)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        FailureInjector(str(tmp_path), checkpoint_every=0)
+
+
+def test_recovery_ignores_stale_checkpoints_from_other_runs(
+    tiny_spec, small_config, tmp_path
+):
+    """A reused directory holding a newer checkpoint from a *different*
+    run (different config) must not derail recovery."""
+    from repro.config import ClusterConfig
+
+    other_config = ClusterConfig(
+        n_nodes=small_config.n_nodes,
+        gpus_per_node=small_config.gpus_per_node,
+        minibatches_per_gpu=small_config.minibatches_per_gpu,
+        mem_capacity_params=small_config.mem_capacity_params,
+        hbm_capacity_params=small_config.hbm_capacity_params,
+        ssd_file_capacity=small_config.ssd_file_capacity,
+        seed=small_config.seed + 17,
+    )
+    # Previous run leaves a round-4 checkpoint of an incompatible config.
+    stale = HPSCluster(tiny_spec, other_config, functional_batch_size=128)
+    stale.train(4)
+    stale.save_checkpoint(str(tmp_path / "round_000004"))
+
+    baseline = build(tiny_spec, small_config)
+    baseline.train(5)
+    injector = FailureInjector(str(tmp_path), checkpoint_every=3)
+    recovered, report = injector.run(
+        build(tiny_spec, small_config), 5, kill_node=0, kill_after_round=3
+    )
+    # Recovery restored this run's own round-3 snapshot, not the stale
+    # (newer-looking) round-4 one.
+    assert report.checkpoint_round == 3
+    assert report.rounds_replayed == 1
+    assert_same_final_state(baseline, recovered)

@@ -140,3 +140,32 @@ class TestTrainer:
         trainer = Trainer(cluster)
         with pytest.raises(ValueError):
             trainer.final_auc()
+
+
+class TestRoundBoundaryGuard:
+    """Cross-tier reads are rejected while HBM holds the only fresh copy."""
+
+    def test_lookup_rejected_mid_round(self, cluster):
+        from repro.core.cluster import RoundContext
+
+        cluster.train_round()
+        probe = cluster.generator.batch(100, 64).unique_keys()
+        ctx = RoundContext(round_index=cluster.rounds_completed)
+        cluster.stage_read(ctx)
+        cluster.stage_prepare(ctx)
+        cluster.lookup_embeddings(probe)  # prepare alone is still coherent
+        cluster.stage_load(ctx)
+        with pytest.raises(RuntimeError, match="round boundary"):
+            cluster.lookup_embeddings(probe)
+        with pytest.raises(RuntimeError, match="round boundary"):
+            cluster.evaluate_auc(cluster.generator.batch(101, 64))
+        cluster.stage_train(ctx)
+        # Write-back landed: the MEM tier is authoritative again.
+        cluster.lookup_embeddings(probe)
+
+    def test_training_modes_end_quiescent(self, tiny_spec, small_config):
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=128)
+        cluster.train(2)
+        assert cluster._staged_rounds == 0
+        cluster.train_pipelined(2)
+        assert cluster._staged_rounds == 0

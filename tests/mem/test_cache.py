@@ -233,3 +233,69 @@ def test_combined_never_exceeds_capacity_and_flushes_are_disjoint(ops):
             for fk, _ in flushed:
                 assert not c.contains(fk)
         assert len(c) <= c.capacity
+
+
+class TestCombinedCacheSnapshot:
+    """export_state/load_state preserve future replacement behavior."""
+
+    def _warmed(self, seed=0):
+        rng = np.random.default_rng(seed)
+        cache = CombinedCache(16, lru_fraction=0.5, value_dim=2)
+        for _ in range(6):
+            keys = np.unique(rng.integers(0, 60, size=8).astype(np.uint64))
+            cache.put_batch(keys, np.tile(keys[:, None], (1, 2)).astype(np.float32))
+            cache.get_batch(np.unique(rng.integers(0, 60, size=5).astype(np.uint64)))
+        return cache
+
+    def test_round_trip_preserves_contents_and_stats(self):
+        cache = self._warmed()
+        state = cache.export_state()
+        other = CombinedCache(16, lru_fraction=0.5, value_dim=2)
+        other.load_state(state)
+        ka, va = cache.items()
+        kb, vb = other.items()
+        assert np.array_equal(ka, kb) and np.array_equal(va, vb)
+        assert other.stats.hits == cache.stats.hits
+        assert other.stats.misses == cache.stats.misses
+        # Tier membership (not just the union) must survive.
+        assert np.array_equal(
+            np.sort(np.asarray(cache.lru.keys())),
+            np.sort(np.asarray(other.lru.keys())),
+        )
+
+    def test_round_trip_preserves_future_evictions(self):
+        """Same subsequent ops -> same hits, flushes, and final layout."""
+        cache = self._warmed(seed=1)
+        other = CombinedCache(16, lru_fraction=0.5, value_dim=2)
+        other.load_state(cache.export_state())
+        rng = np.random.default_rng(99)
+        for _ in range(8):
+            keys = np.unique(rng.integers(0, 80, size=7).astype(np.uint64))
+            vals = np.tile(keys[:, None], (1, 2)).astype(np.float32)
+            fa = cache.put_batch(keys, vals)
+            fb = other.put_batch(keys, vals)
+            assert np.array_equal(fa[0], fb[0]) and np.array_equal(fa[1], fb[1])
+            probe = np.unique(rng.integers(0, 80, size=6).astype(np.uint64))
+            va, ha = cache.get_batch(probe)
+            vb, hb = other.get_batch(probe)
+            assert np.array_equal(ha, hb) and np.array_equal(va, vb)
+            pa, pb = cache.take_pending_flush(), other.take_pending_flush()
+            assert np.array_equal(pa[0], pb[0]) and np.array_equal(pa[1], pb[1])
+        ka, va = cache.items()
+        kb, vb = other.items()
+        assert np.array_equal(ka, kb) and np.array_equal(va, vb)
+
+    def test_export_refuses_pinned_entries(self):
+        cache = CombinedCache(8, value_dim=1)
+        keys = np.array([1, 2], dtype=np.uint64)
+        cache.put_batch(keys, np.ones((2, 1), np.float32), pin=True)
+        with pytest.raises(RuntimeError, match="pinned"):
+            cache.export_state()
+        cache.unpin_batch(keys)
+        cache.export_state()
+
+    def test_load_rejects_oversized_snapshot(self):
+        cache = self._warmed()
+        small = CombinedCache(4, value_dim=2)
+        with pytest.raises(ValueError, match="capacit"):
+            small.load_state(cache.export_state())

@@ -169,3 +169,124 @@ def test_store_matches_dict_semantics(write_rounds):
     assert [round(float(x), 3) for x in r.values[:, 0]] == [
         round(expected[int(k)], 3) for k in keys
     ]
+
+
+class TestCrashConsistency:
+    """Regressions for the durable-write and lost-payload bugfixes."""
+
+    def test_interrupted_write_leaves_no_truncated_payload(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        store = FileStore(2, file_capacity=4, directory=str(tmp_path))
+        store.write(keys_of(range(4)), vals_of(4))
+        before = store.read(keys_of(range(4)))
+
+        def boom(src, dst):
+            raise OSError("power loss")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            store.write(keys_of(range(4)), vals_of(4, base=100.0))
+        monkeypatch.undo()
+
+        # The mapping still points at the old (intact) payloads, the
+        # failed file never became visible, and no temp debris remains.
+        store.check_invariants()
+        after = store.read(keys_of(range(4)))
+        assert np.array_equal(after.values, before.values)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(list(tmp_path.glob("*.npy"))) == 1
+
+    def test_payload_visible_only_after_replace(self, tmp_path, monkeypatch):
+        """The final .npy name must never exist in a partial state."""
+        import os
+
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append((os.path.exists(dst), src.endswith(".tmp")))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        store = FileStore(2, file_capacity=4, directory=str(tmp_path))
+        store.write(keys_of(range(3)), vals_of(3))
+        assert seen == [(False, True)]  # written under a temp name first
+
+    def test_erase_raises_on_lost_payload(self, tmp_path):
+        import os
+
+        store = FileStore(1, file_capacity=4, directory=str(tmp_path))
+        _, (fid,) = store.write(keys_of([1, 2]), np.ones((2, 1), np.float32))
+        path = store._files[fid].path
+        os.remove(path)  # the only copy of rows 1-2 is gone
+        with pytest.raises(FileNotFoundError, match="payload missing"):
+            store.erase(fid)
+        # The file stays registered so the loss remains observable.
+        assert fid in store._files
+
+    def test_erase_memory_backend_unaffected(self):
+        store = FileStore(1, file_capacity=4)
+        _, (fid,) = store.write(keys_of([1]), np.ones((1, 1), np.float32))
+        store.write(keys_of([1]), np.zeros((1, 1), np.float32))
+        store.erase(fid)
+        assert fid not in store._files
+
+
+class TestStateSnapshot:
+    def test_export_load_round_trip(self, store):
+        store.write(keys_of(range(10)), vals_of(10))
+        store.write(keys_of(range(4)), vals_of(4, base=50.0))  # stale rows
+        state = store.export_state()
+        other = FileStore(2, file_capacity=4)
+        other.load_state(state)
+        other.check_invariants()
+        assert other.n_files == store.n_files
+        assert other.n_live_params == store.n_live_params
+        a, b = store.read(keys_of(range(10))), other.read(keys_of(range(10)))
+        assert np.array_equal(a.values, b.values)
+        # Stale counters (compaction triggers) survive the round trip.
+        for fid, f in store._files.items():
+            assert other._files[fid].stale_count == f.stale_count
+        assert other._next_file_id == store._next_file_id
+
+    def test_load_state_into_disk_backend(self, store, tmp_path):
+        store.write(keys_of(range(6)), vals_of(6))
+        disk = FileStore(2, file_capacity=4, directory=str(tmp_path))
+        disk.load_state(store.export_state())
+        disk.check_invariants()
+        assert list(tmp_path.glob("*.npy"))
+        r = disk.read(keys_of(range(6)))
+        assert r.found.all()
+        assert np.array_equal(r.values, vals_of(6))
+
+    def test_load_state_rejects_stale_next_file_id(self, store):
+        store.write(keys_of(range(4)), vals_of(4))
+        state = store.export_state()
+        state["next_file_id"] = np.int64(0)
+        other = FileStore(2, file_capacity=4)
+        with pytest.raises(ValueError, match="next_file_id"):
+            other.load_state(state)
+
+    def test_rejected_snapshot_leaves_store_untouched(self, store):
+        store.write(keys_of(range(6)), vals_of(6))
+        state = store.export_state()
+        state["file_stale"] = state["file_stale"] + 1  # mapping disagrees
+        target = FileStore(2, file_capacity=4)
+        target.write(keys_of([100, 101]), vals_of(2, base=9.0))
+        with pytest.raises(ValueError, match="stale counter"):
+            target.load_state(state)
+        # Validation rejected the snapshot before anything was erased.
+        r = target.read(keys_of([100, 101]))
+        assert r.found.all()
+        target.check_invariants()
+
+    def test_load_state_rejects_mapping_to_unknown_file(self, store):
+        store.write(keys_of(range(4)), vals_of(4))
+        state = store.export_state()
+        state["map_fids"] = state["map_fids"] + 7
+        other = FileStore(2, file_capacity=4)
+        with pytest.raises(ValueError, match="unknown files"):
+            other.load_state(state)
