@@ -16,12 +16,15 @@ Two kinds of experiments:
 
 from __future__ import annotations
 
+import json
+import time
+
 import numpy as np
 
 from repro.baselines.mpi_ps import MPITimingModel
 from repro.bench.analytical import AnalyticalHPS
 from repro.config import PAPER_MODELS, ClusterConfig, ModelSpec
-from repro.core.cluster import HPSCluster
+from repro.core.cluster import PIPELINE_STAGE_NAMES, HPSCluster
 from repro.core.trainer import ReferenceTrainer
 from repro.data.generator import CTRDataGenerator
 from repro.hashing.dnn import SimpleDNN
@@ -41,8 +44,13 @@ __all__ = [
     "run_op_osrp_study",
     "run_pipeline_overlap",
     "run_checkpoint_overhead",
+    "run_e2e_throughput",
+    "BENCH_E2E_SCHEMA",
     "small_cluster_config",
 ]
+
+#: Schema tag written into ``BENCH_e2e.json`` (bump on layout changes).
+BENCH_E2E_SCHEMA = "bench-e2e/v1"
 
 
 # ----------------------------------------------------------------------
@@ -441,6 +449,139 @@ def run_checkpoint_overhead(
         "recovery_seconds": report.recovery_seconds,
         "parameter_parity": sparse_equal and dense_equal,
     }
+
+
+def _instrument_stages(cluster: HPSCluster) -> dict[str, float]:
+    """Wrap the cluster's stage functions with wall-clock accumulators.
+
+    Instance attributes shadow the bound methods, so both ``train_round``
+    and ``train_pipelined`` (which resolve stages via
+    ``stage_functions``) report into the returned dict.
+    """
+    wall = {name: 0.0 for name in PIPELINE_STAGE_NAMES}
+
+    def timed(name, fn):
+        def wrapper(ctx):
+            t0 = time.perf_counter()
+            out = fn(ctx)
+            wall[name] += time.perf_counter() - t0
+            return out
+
+        return wrapper
+
+    cluster.stage_read = timed("read", cluster.stage_read)
+    cluster.stage_prepare = timed("prepare", cluster.stage_prepare)
+    cluster.stage_load = timed("load", cluster.stage_load)
+    cluster.stage_train = timed("train", cluster.stage_train)
+    return wall
+
+
+def run_e2e_throughput(
+    spec: ModelSpec | None = None,
+    *,
+    n_rounds: int = 20,
+    batch_size: int = 256,
+    queue_capacity: int | tuple[int, ...] = 2,
+    seed: int = 0,
+    write_path: str | None = None,
+) -> dict:
+    """End-to-end wall-clock throughput ledger (``BENCH_e2e.json``).
+
+    Trains the functional small-cluster workload three ways on identical
+    data — lockstep on the pre-plan path (``use_plan=False``, the parity
+    oracle), lockstep with the :class:`~repro.plan.RoundPlan` threaded
+    through every tier, and pipelined with the plan — and measures *real*
+    wall-clock rounds/s, keys/s, examples/s, and per-stage seconds for
+    each.  Trained parameters must be bit-identical across all three
+    modes; ``speedup_planned_over_unplanned`` is the perf claim every
+    future PR is measured against.
+
+    With ``write_path``, the result is serialized as JSON (the committed
+    ``BENCH_e2e.json`` at the repo root is this file).
+    """
+    spec = spec or functional_model()
+    cfg = small_cluster_config(seed=seed)
+
+    def build(use_plan: bool) -> HPSCluster:
+        return HPSCluster(
+            spec,
+            cfg,
+            functional_batch_size=batch_size,
+            use_plan=use_plan,
+        )
+
+    def measure_lockstep(cluster: HPSCluster) -> dict:
+        wall = _instrument_stages(cluster)
+        t0 = time.perf_counter()
+        stats = cluster.train(n_rounds)
+        elapsed = time.perf_counter() - t0
+        return _throughput_row(stats, elapsed, wall)
+
+    def measure_pipelined(cluster: HPSCluster) -> dict:
+        wall = _instrument_stages(cluster)
+        t0 = time.perf_counter()
+        run = cluster.train_pipelined(n_rounds, queue_capacity=queue_capacity)
+        elapsed = time.perf_counter() - t0
+        return _throughput_row(run.stats, elapsed, wall)
+
+    def _throughput_row(stats, elapsed: float, wall: dict) -> dict:
+        n_keys = int(sum(s.n_working_params for s in stats))
+        n_ex = int(sum(s.n_examples for s in stats))
+        return {
+            "wall_seconds": elapsed,
+            "rounds_per_s": n_rounds / elapsed if elapsed else 0.0,
+            "keys_per_s": n_keys / elapsed if elapsed else 0.0,
+            "examples_per_s": n_ex / elapsed if elapsed else 0.0,
+            "stage_seconds": dict(wall),
+        }
+
+    unplanned = build(False)
+    planned = build(True)
+    pipelined = build(True)
+    row_unplanned = measure_lockstep(unplanned)
+    row_planned = measure_lockstep(planned)
+    row_pipelined = measure_pipelined(pipelined)
+
+    probe = unplanned.generator.batch(10_000, 2048).unique_keys()
+    emb = [
+        c.lookup_embeddings(probe) for c in (unplanned, planned, pipelined)
+    ]
+    sparse_equal = all(np.array_equal(emb[0], e) for e in emb[1:])
+    dense_ref = unplanned.nodes[0].model.dense_state()
+    dense_equal = all(
+        np.array_equal(a, b)
+        for c in (planned, pipelined)
+        for a, b in zip(dense_ref, c.nodes[0].model.dense_state())
+    )
+
+    result = {
+        "schema": BENCH_E2E_SCHEMA,
+        "workload": {
+            "model": spec.name,
+            "n_rounds": n_rounds,
+            "batch_size": batch_size,
+            "n_nodes": cfg.n_nodes,
+            "gpus_per_node": cfg.gpus_per_node,
+            "minibatches_per_gpu": cfg.minibatches_per_gpu,
+            "seed": seed,
+        },
+        "rows": [
+            {"mode": "lockstep-unplanned", **row_unplanned},
+            {"mode": "lockstep-planned", **row_planned},
+            {"mode": "pipelined-planned", **row_pipelined},
+        ],
+        "speedup_planned_over_unplanned": (
+            row_planned["rounds_per_s"] / row_unplanned["rounds_per_s"]
+            if row_unplanned["rounds_per_s"]
+            else 0.0
+        ),
+        "parameter_parity": bool(sparse_equal and dense_equal),
+    }
+    if write_path is not None:
+        with open(write_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -46,11 +46,16 @@ from repro.data.generator import CTRDataGenerator
 from repro.data.hdfs import TimedBatch
 from repro.hardware.gpu import dense_flops_per_example
 from repro.hardware.specs import NodeHardware
-from repro.hbm.allreduce import allreduce_dense, hierarchical_allreduce
+from repro.hbm.allreduce import (
+    DenseGradAccumulator,
+    allreduce_dense,
+    hierarchical_allreduce,
+)
 from repro.core.engine import EngineRun, PipelinedEngine, StageDef
 from repro.core.node import HPSNode
 from repro.core.pipeline import PipelineSchedule
 from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
+from repro.plan import RoundPlan, build_round_plan
 from repro.utils.keys import as_keys
 
 __all__ = [
@@ -141,6 +146,9 @@ class RoundContext:
     # stage 1: HDFS read
     timed: list[TimedBatch] = field(default_factory=list)
     read_seconds: float = 0.0
+    #: the round's key plan (computed once in stage_read when the cluster
+    #: runs planned; every later stage consumes its precomputed indices)
+    plan: RoundPlan | None = None
     # stage 2: MEM-PS/SSD-PS prepare
     workings: list[np.ndarray] = field(default_factory=list)
     prep_values: list[np.ndarray] = field(default_factory=list)
@@ -216,9 +224,15 @@ class HPSCluster:
         functional_batch_size: int = 4096,
         zipf_exponent: float = 1.05,
         ssd_directory: str | None = None,
+        use_plan: bool = True,
     ) -> None:
         self.model_spec = model_spec
         self.config = cluster_config
+        #: compute each round's BatchPlan once in stage_read and thread it
+        #: through every tier (False = the pre-plan path, kept as the
+        #: parity oracle; both paths produce bit-identical parameters and
+        #: simulated seconds)
+        self.use_plan = use_plan
         self.sparse_optimizer = sparse_optimizer or SparseAdagrad(
             model_spec.embedding_dim, lr=0.05
         )
@@ -249,6 +263,12 @@ class HPSCluster:
         self.functional_batch_size = functional_batch_size
         self.rounds_completed = 0
         self.history: list[BatchStats] = []
+        #: reused float32 dense-gradient buffers (one accumulator per node
+        #: plus one for the cross-node sum) — no per-mini-batch temporaries
+        self._node_dense_acc = [
+            DenseGradAccumulator() for _ in range(cluster_config.n_nodes)
+        ]
+        self._dense_sum_acc = DenseGradAccumulator()
         #: Rounds whose working parameters are currently staged in HBM
         #: (between stage_load and the end of stage_train).  Non-zero
         #: means cross-tier reads and checkpoints are unsafe — freshly
@@ -279,12 +299,26 @@ class HPSCluster:
         )
 
     def stage_read(self, ctx: RoundContext) -> float:
-        """Stage 1 — HDFS read (Alg. 1 line 2); data-parallel per node."""
+        """Stage 1 — HDFS read (Alg. 1 line 2); data-parallel per node.
+
+        In planned mode this stage also computes the round's
+        :class:`~repro.plan.RoundPlan` — the only place key metadata
+        (unique sets, owner partitions, shard unions) is derived; every
+        later stage consumes the plan's precomputed index arrays.
+        """
         r = ctx.round_index
         ctx.timed = [
             n.hdfs.read(r * self.n_nodes + n.node_id) for n in self.nodes
         ]
         ctx.read_seconds = max(t.read_seconds for t in ctx.timed)
+        if self.use_plan:
+            ctx.plan = build_round_plan(
+                [t.batch for t in ctx.timed],
+                node_partitioner=self.nodes[0].mem_ps.partitioner,
+                gpu_partitioner=self.nodes[0].hbm_ps.params.partitioner,
+                n_gpus=self.config.gpus_per_node,
+                mb_rounds=self.config.minibatches_per_gpu,
+            )
         return ctx.read_seconds
 
     def stage_prepare(self, ctx: RoundContext) -> float:
@@ -295,6 +329,7 @@ class HPSCluster:
         per-round accounting correct in both execution modes.
         """
         nodes = self.nodes
+        plan = ctx.plan
         ctx.cache_stats_before = [
             (n.mem_ps.cache.stats.hits, n.mem_ps.cache.stats.misses)
             for n in nodes
@@ -306,10 +341,17 @@ class HPSCluster:
             n.ledger.total("ssd_read") + n.ledger.total("ssd_write")
             for n in nodes
         ]
-        ctx.workings = [t.batch.unique_keys() for t in ctx.timed]
-        prep_out = [
-            node.mem_ps.prepare(w) for node, w in zip(nodes, ctx.workings)
-        ]
+        if plan is not None:
+            ctx.workings = [p.keys for p in plan.nodes]
+            prep_out = [
+                node.mem_ps.prepare(w, plan=p)
+                for node, w, p in zip(nodes, ctx.workings, plan.nodes)
+            ]
+        else:
+            ctx.workings = [t.batch.unique_keys() for t in ctx.timed]
+            prep_out = [
+                node.mem_ps.prepare(w) for node, w in zip(nodes, ctx.workings)
+            ]
         ctx.prep_values = [values for values, _ in prep_out]
         ctx.pull_local_seconds = max(p.local_seconds for _, p in prep_out)
         ctx.pull_remote_seconds = max(p.remote_seconds for _, p in prep_out)
@@ -319,14 +361,25 @@ class HPSCluster:
         """Stage 3 — CPU partition + HBM working-set staging (lines 5-10)."""
         n_gpus = self.config.gpus_per_node
         mb_rounds = self.config.minibatches_per_gpu
+        plan = ctx.plan
         cpu_s = 0.0
         load_s = 0.0
-        for node, working, values in zip(
-            self.nodes, ctx.workings, ctx.prep_values
+        for i, (node, working, values) in enumerate(
+            zip(self.nodes, ctx.workings, ctx.prep_values)
         ):
             cpu_s = max(cpu_s, node.cpu_partition_time(working.size))
-            load_s = max(load_s, node.hbm_ps.load_working_set(working, values))
-        ctx.shards = [t.batch.shard(n_gpus * mb_rounds) for t in ctx.timed]
+            load_s = max(
+                load_s,
+                node.hbm_ps.load_working_set(
+                    working,
+                    values,
+                    plan=plan.nodes[i] if plan is not None else None,
+                ),
+            )
+        if plan is not None:
+            ctx.shards = [p.shards for p in plan.nodes]
+        else:
+            ctx.shards = [t.batch.shard(n_gpus * mb_rounds) for t in ctx.timed]
         ctx.cpu_partition_seconds = cpu_s + load_s
         self._staged_rounds += 1
         return ctx.cpu_partition_seconds
@@ -342,6 +395,7 @@ class HPSCluster:
         n_gpus = self.config.gpus_per_node
         mb_rounds = self.config.minibatches_per_gpu
         shards = ctx.shards
+        plan = ctx.plan
         flops_per_ex = dense_flops_per_example(
             self.model_spec.n_slots,
             self.model_spec.embedding_dim,
@@ -354,21 +408,30 @@ class HPSCluster:
         for m in range(mb_rounds):
             round_worker_t = 0.0
             node_dense_grads: list[list[np.ndarray]] = []
-            for node, minibatches in zip(nodes, shards):
-                dense_acc: list[np.ndarray] | None = None
+            for i, (node, minibatches) in enumerate(zip(nodes, shards)):
+                acc = self._node_dense_acc[i]
+                started = False
                 worker_t = 0.0
                 for gpu in range(n_gpus):
                     mb = minibatches[m * n_gpus + gpu]
                     if mb.n_examples == 0:
                         continue
-                    mb_keys = mb.unique_keys()
-                    emb, t_pull = node.hbm_ps.pull_embeddings(mb_keys, gpu=gpu)
+                    mbp = (
+                        plan.nodes[i].minibatches[m * n_gpus + gpu]
+                        if plan is not None
+                        else None
+                    )
+                    mb_keys = mbp.keys if mbp is not None else mb.unique_keys()
+                    emb, t_pull = node.hbm_ps.pull_embeddings(
+                        mb_keys, gpu=gpu, mb=mbp
+                    )
                     result = node.model.train_minibatch(mb, mb_keys, emb)
                     t_gpu = node.gpu_compute.train(flops_per_ex * mb.n_examples)
                     t_push = node.hbm_ps.push_gradients(
                         result.sparse_grad.keys,
                         result.sparse_grad.grads.astype(np.float32),
                         gpu=gpu,
+                        mb=mbp,
                     )
                     worker_t = max(worker_t, t_pull + t_gpu + t_push)
                     hbm_pull_s += t_pull
@@ -377,41 +440,65 @@ class HPSCluster:
                     losses.append(result.loss)
                     n_examples += mb.n_examples
                     grads = node.model.mlp.gradients()
-                    if dense_acc is None:
-                        dense_acc = [g.astype(np.float64).copy() for g in grads]
+                    if not started:
+                        acc.start(grads)
+                        started = True
                     else:
-                        for a, g in zip(dense_acc, grads):
-                            a += g
-                if dense_acc is None:
-                    dense_acc = [
-                        np.zeros_like(p, dtype=np.float64)
-                        for p in node.model.mlp.parameters()
-                    ]
-                node_dense_grads.append(dense_acc)
+                        acc.add(grads)
+                if not started:
+                    acc.start_zero(node.model.mlp.parameters())
+                node_dense_grads.append(acc.arrays)
                 round_worker_t = max(round_worker_t, worker_t)
 
             # Inter-node synchronization (Section 4.2) per mini-batch.
-            node_updates = [node.hbm_ps.drain_gradients() for node in nodes]
+            splan = plan.sync[m] if plan is not None else None
+            node_updates = [
+                node.hbm_ps.drain_gradients(
+                    sync=splan.nodes[i] if splan is not None else None
+                )
+                for i, node in enumerate(nodes)
+            ]
             global_update, t_ar = hierarchical_allreduce(
                 node_updates,
                 networks=[node.network for node in nodes],
                 nvlinks=[node.hbm_ps.nvlink for node in nodes],
                 gpus_per_node=n_gpus,
             )
+            if splan is not None:
+                # The plan predicted this union at read time; a mismatch
+                # means the plan and the drained gradients diverged.
+                assert np.array_equal(global_update.keys, splan.keys)
             t_apply = 0.0
-            for node in nodes:
-                missing, t_a = node.hbm_ps.apply_update(global_update)
-                t_apply = max(t_apply, t_a)
-                if missing.size:
-                    idx = np.searchsorted(global_update.keys, missing)
-                    node.mem_ps.apply_gradients(missing, global_update.grads[idx])
+            for i, node in enumerate(nodes):
+                if splan is not None:
+                    spn = splan.nodes[i]
+                    missing, t_a = node.hbm_ps.apply_update(
+                        global_update, sync=spn
+                    )
+                    t_apply = max(t_apply, t_a)
+                    own = spn.missing_own_idx
+                    if own.size:
+                        node.mem_ps.apply_gradients(
+                            global_update.keys[own],
+                            global_update.grads[own],
+                            pre_owned=True,
+                        )
+                else:
+                    missing, t_a = node.hbm_ps.apply_update(global_update)
+                    t_apply = max(t_apply, t_a)
+                    if missing.size:
+                        idx = np.searchsorted(global_update.keys, missing)
+                        node.mem_ps.apply_gradients(
+                            missing, global_update.grads[idx]
+                        )
             dense_sum, t_dense = allreduce_dense(
-                node_dense_grads, networks=[node.network for node in nodes]
+                node_dense_grads,
+                networks=[node.network for node in nodes],
+                out=self._dense_sum_acc,
             )
             for node in nodes:
                 node.dense_optimizer.step(
-                    node.model.mlp.parameters(),
-                    [g.astype(np.float32) for g in dense_sum],
+                    node.model.mlp.parameters(), dense_sum
                 )
             allreduce_s += t_ar + t_dense
             # Workers run in parallel, so the slowest worker is the
@@ -420,9 +507,13 @@ class HPSCluster:
 
         # --- write back (lines 16-18) ------------------------------------
         absorb_s = 0.0
-        for node in nodes:
+        for i, node in enumerate(nodes):
             keys, values = node.hbm_ps.dump()
-            t = node.mem_ps.absorb_updates(keys, values)
+            t = node.mem_ps.absorb_updates(
+                keys,
+                values,
+                plan=plan.nodes[i] if plan is not None else None,
+            )
             t += node.mem_ps.end_batch()
             absorb_s = max(absorb_s, t)
 
@@ -615,6 +706,7 @@ class HPSCluster:
         functional_batch_size: int | None = None,
         zipf_exponent: float | None = None,
         ssd_directory: str | None = None,
+        use_plan: bool = True,
     ) -> "HPSCluster":
         """Rebuild a cluster from a checkpoint written by
         :meth:`save_checkpoint`.
@@ -638,4 +730,5 @@ class HPSCluster:
             functional_batch_size=functional_batch_size,
             zipf_exponent=zipf_exponent,
             ssd_directory=ssd_directory,
+            use_plan=use_plan,
         )

@@ -125,11 +125,12 @@ class ReferenceTrainer:
     """Single-store data-parallel trainer with identical semantics.
 
     Replays the cluster's exact global schedule — per round, every
-    (node, GPU) mini-batch contributes a gradient; per-node contributions
-    are first reduced in float32 (as the HBM gradient buffer does), then
-    summed across nodes in float64 (as the all-reduce does) — against one
-    flat batch-first parameter store
-    (:class:`~repro.store.flat.FlatStore`).
+    (node, GPU) mini-batch contributes a gradient; per-node sparse
+    contributions are first reduced in float32 (as the HBM gradient
+    buffer does), then summed across nodes in float64 (as the all-reduce
+    does), while dense gradients accumulate in float32 end to end (as the
+    cluster's reused buffers do) — against one flat batch-first parameter
+    store (:class:`~repro.store.flat.FlatStore`).
     """
 
     def __init__(
@@ -190,7 +191,9 @@ class ReferenceTrainer:
         shards = [b.shard(n_gpus * cfg.minibatches_per_gpu) for b in batches]
         losses = []
         for m in range(cfg.minibatches_per_gpu):
-            # Per-node float32 gradient buffers, merged in float64.
+            # Per-node float32 gradient buffers, merged in float64 for the
+            # sparse side; dense gradients accumulate in float32 end to
+            # end, mirroring the cluster's reused DenseGradAccumulator.
             global_keys: np.ndarray | None = None
             global_grads: np.ndarray | None = None
             dense_sum: list[np.ndarray] | None = None
@@ -215,7 +218,7 @@ class ReferenceTrainer:
                     losses.append(result.loss)
                     grads = self.model.mlp.gradients()
                     if dense_acc is None:
-                        dense_acc = [g.astype(np.float64).copy() for g in grads]
+                        dense_acc = [g.astype(np.float32) for g in grads]
                     else:
                         for a, g in zip(dense_acc, grads):
                             a += g
@@ -249,8 +252,7 @@ class ReferenceTrainer:
                 self._apply(global_keys, global_grads)
             if dense_sum is not None:
                 self.dense_optimizer.step(
-                    self.model.mlp.parameters(),
-                    [g.astype(np.float32) for g in dense_sum],
+                    self.model.mlp.parameters(), dense_sum
                 )
         self.rounds_completed += 1
         return float(np.mean(losses)) if losses else float("nan")

@@ -27,7 +27,13 @@ from repro.hardware.gpu import NVLink
 from repro.hardware.network import Network
 from repro.utils.keys import KEY_DTYPE, as_keys
 
-__all__ = ["SparseUpdate", "merge_updates", "hierarchical_allreduce", "allreduce_dense"]
+__all__ = [
+    "SparseUpdate",
+    "merge_updates",
+    "hierarchical_allreduce",
+    "allreduce_dense",
+    "DenseGradAccumulator",
+]
 
 
 @dataclass(frozen=True)
@@ -162,15 +168,67 @@ def hierarchical_allreduce(
     return result, total_time
 
 
+class DenseGradAccumulator:
+    """Reused float32 accumulation buffers for dense gradients.
+
+    The gradient hot path used to allocate fresh ``float64`` temporaries
+    per mini-batch (one ``astype(float64).copy()`` per worker plus a
+    ``zeros_like`` inside :func:`allreduce_dense`); this accumulator keeps
+    one set of float32 buffers alive and overwrites them in place.  Dense
+    towers are tiny and their per-step gradients are summed over at most
+    ``n_nodes * gpus_per_node`` contributions, so float32 accumulation is
+    well within tolerance (verified by a regression test).
+    """
+
+    def __init__(self) -> None:
+        self._bufs: list[np.ndarray] | None = None
+
+    def _ensure(self, templates: list[np.ndarray]) -> list[np.ndarray]:
+        if self._bufs is None or len(self._bufs) != len(templates) or any(
+            b.shape != t.shape for b, t in zip(self._bufs, templates)
+        ):
+            self._bufs = [
+                np.zeros(t.shape, dtype=np.float32) for t in templates
+            ]
+        return self._bufs
+
+    @property
+    def arrays(self) -> list[np.ndarray]:
+        if self._bufs is None:
+            raise RuntimeError("accumulator used before start()/start_zero()")
+        return self._bufs
+
+    def start(self, grads: list[np.ndarray]) -> "DenseGradAccumulator":
+        """Overwrite the buffers with ``grads`` (the first contribution)."""
+        for b, g in zip(self._ensure(grads), grads):
+            np.copyto(b, g)
+        return self
+
+    def start_zero(self, templates: list[np.ndarray]) -> "DenseGradAccumulator":
+        """Zero the buffers (a node that contributed no examples)."""
+        for b in self._ensure(templates):
+            b.fill(0.0)
+        return self
+
+    def add(self, grads: list[np.ndarray]) -> None:
+        """In-place ``buf += grad`` for each buffer."""
+        for b, g in zip(self.arrays, grads):
+            b += g
+
+
 def allreduce_dense(
     node_grads: list[list[np.ndarray]],
     *,
     networks: list[Network] | None = None,
+    out: DenseGradAccumulator | None = None,
 ) -> tuple[list[np.ndarray], float]:
     """Sum dense-parameter gradients across nodes (Appendix C.4).
 
     Dense towers are replicated on every GPU; their gradients are tiny
     (≤ a few million floats), so a flat recursive-doubling reduce suffices.
+    The sum accumulates in float32; pass a :class:`DenseGradAccumulator`
+    as ``out`` to reuse its buffers across calls (the returned arrays are
+    then views of the accumulator and are overwritten by the next call).
     """
     n = len(node_grads)
     if n == 0:
@@ -179,10 +237,11 @@ def allreduce_dense(
     for grads in node_grads[1:]:
         if [g.shape for g in grads] != shapes:
             raise ValueError("dense gradient shapes differ across nodes")
-    total = [np.zeros_like(g, dtype=np.float64) for g in node_grads[0]]
-    for grads in node_grads:
-        for t, g in zip(total, grads):
-            t += g
+    acc = out if out is not None else DenseGradAccumulator()
+    acc.start(node_grads[0])
+    for grads in node_grads[1:]:
+        acc.add(grads)
+    total = acc.arrays
     nbytes = int(sum(4 * g.size for g in total))
     steps = int(np.ceil(np.log2(n))) if n > 1 else 0
     t = 0.0

@@ -18,7 +18,7 @@ from repro.hardware.gpu import GPUDevice, NVLink
 from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import GPUSpec, NVLinkSpec
 from repro.hbm.hash_table import HashTable
-from repro.hbm.partition import ModuloPartitioner
+from repro.hbm.partition import ModuloPartitioner, bucket_order
 from repro.utils.keys import KEY_DTYPE, all_unique, as_keys
 
 __all__ = ["DistributedHashTable"]
@@ -61,6 +61,16 @@ class DistributedHashTable:
     def _value_bytes(self) -> int:
         return 4 * self.value_dim
 
+    def _dispatch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Shard dispatch as index arrays: one hash + one stable sort.
+
+        Returns ``(order, bounds)`` where ``order[bounds[g]:bounds[g+1]]``
+        are the positions of GPU ``g``'s keys (in original batch order).
+        Replaces the per-GPU ``split`` copies on the hot paths — callers
+        slice the index array instead of materializing per-GPU key lists.
+        """
+        return bucket_order(self.partitioner.part_of(keys), self.n_gpus)
+
     # ------------------------------------------------------------------
     def insert(self, keys: np.ndarray, values: np.ndarray) -> float:
         """Partition and insert a working set; returns simulated seconds.
@@ -72,12 +82,15 @@ class DistributedHashTable:
         """
         keys = as_keys(keys)
         values = np.asarray(values, dtype=np.float32)
-        parts = self.partitioner.split(keys, values)
+        order, bounds = self._dispatch(keys)
         times = []
-        for gpu, (k, v) in enumerate(parts):
-            self.tables[gpu].insert(k, v)
+        for gpu in range(self.n_gpus):
+            idx = order[bounds[gpu] : bounds[gpu + 1]]
+            self.tables[gpu].insert(keys[idx], values[idx])
             times.append(
-                self.devices[gpu].table_op(k.size, self._value_bytes(), "hbm_insert")
+                self.devices[gpu].table_op(
+                    idx.size, self._value_bytes(), "hbm_insert"
+                )
             )
         return max(times, default=0.0)
 
@@ -94,15 +107,16 @@ class DistributedHashTable:
         keys = as_keys(keys)
         self._check_gpu(source_gpu)
         uniq, inv = np.unique(keys, return_inverse=True)
-        parts = self.partitioner.split(uniq, np.arange(uniq.size))
+        order, bounds = self._dispatch(uniq)
         out = np.zeros((uniq.size, self.value_dim), dtype=np.float32)
         remote_bytes = 0
         remote_msgs = 0
         t_table = 0.0
-        for gpu, (k, idx) in enumerate(parts):
-            if k.size == 0:
+        for gpu in range(self.n_gpus):
+            idx = order[bounds[gpu] : bounds[gpu + 1]]
+            if idx.size == 0:
                 continue
-            vals, found = self.tables[gpu].get(k)
+            vals, found = self.tables[gpu].get(uniq[idx])
             if not np.all(found):
                 raise KeyError(
                     f"GPU {gpu} missing {int((~found).sum())} requested keys"
@@ -110,10 +124,12 @@ class DistributedHashTable:
             out[idx] = vals
             t_table = max(
                 t_table,
-                self.devices[gpu].table_op(k.size, self._value_bytes(), "hbm_pull"),
+                self.devices[gpu].table_op(
+                    idx.size, self._value_bytes(), "hbm_pull"
+                ),
             )
             if gpu != source_gpu:
-                remote_bytes += k.size * (8 + self._value_bytes())
+                remote_bytes += idx.size * (8 + self._value_bytes())
                 remote_msgs += 1
         t_link = (
             self.nvlink.send(remote_bytes, n_messages=remote_msgs)
@@ -140,23 +156,26 @@ class DistributedHashTable:
         if deltas.shape != (keys.size, self.value_dim):
             raise ValueError("deltas shape mismatch")
         self._check_gpu(source_gpu)
-        # Line 2: parallel partition on the source GPU.
-        parts = self.partitioner.split(keys, deltas)
+        # Line 2: parallel partition on the source GPU (index dispatch).
+        order, bounds = self._dispatch(keys)
         send_bytes = 0
         send_msgs = 0
         t_table = 0.0
-        for gpu, (k, d) in enumerate(parts):
-            if k.size == 0:
+        for gpu in range(self.n_gpus):
+            idx = order[bounds[gpu] : bounds[gpu + 1]]
+            if idx.size == 0:
                 continue
             # Lines 3–7: async send of non-local partitions.
             if gpu != source_gpu:
-                send_bytes += k.size * (8 + self._value_bytes())
+                send_bytes += idx.size * (8 + self._value_bytes())
                 send_msgs += 1
             # Lines 9–12: owner applies the accumulation.
-            self.tables[gpu].accumulate(k, d, upsert=upsert)
+            self.tables[gpu].accumulate(keys[idx], deltas[idx], upsert=upsert)
             t_table = max(
                 t_table,
-                self.devices[gpu].table_op(k.size, self._value_bytes(), "hbm_push"),
+                self.devices[gpu].table_op(
+                    idx.size, self._value_bytes(), "hbm_push"
+                ),
             )
         t_link = (
             self.nvlink.send(send_bytes, n_messages=send_msgs) if send_msgs else 0.0
@@ -192,11 +211,12 @@ class DistributedHashTable:
         keys = as_keys(keys)
         out = np.zeros((keys.size, self.value_dim), dtype=np.float32)
         found = np.zeros(keys.size, dtype=bool)
-        parts = self.partitioner.split(keys, np.arange(keys.size))
-        for gpu, (k, idx) in enumerate(parts):
-            if k.size == 0:
+        order, bounds = self._dispatch(keys)
+        for gpu in range(self.n_gpus):
+            idx = order[bounds[gpu] : bounds[gpu + 1]]
+            if idx.size == 0:
                 continue
-            vals, ok = self.tables[gpu].get(k)
+            vals, ok = self.tables[gpu].get(keys[idx])
             out[idx] = vals
             found[idx] = ok
         return out, found
@@ -215,11 +235,12 @@ class DistributedHashTable:
     # ------------------------------------------------------------------
     def contains(self, keys: np.ndarray) -> np.ndarray:
         keys = as_keys(keys)
-        parts = self.partitioner.split(keys, np.arange(keys.size))
+        order, bounds = self._dispatch(keys)
         out = np.zeros(keys.size, dtype=bool)
-        for gpu, (k, idx) in enumerate(parts):
-            if k.size:
-                out[idx] = self.tables[gpu].contains(k)
+        for gpu in range(self.n_gpus):
+            idx = order[bounds[gpu] : bounds[gpu + 1]]
+            if idx.size:
+                out[idx] = self.tables[gpu].contains(keys[idx])
         return out
 
     def items(self) -> tuple[np.ndarray, np.ndarray]:

@@ -13,7 +13,21 @@ import numpy as np
 
 from repro.utils.keys import as_keys, mix_hash
 
-__all__ = ["ModuloPartitioner", "partition_arrays"]
+__all__ = ["ModuloPartitioner", "partition_arrays", "bucket_order"]
+
+
+def bucket_order(parts: np.ndarray, n_parts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Shared grouping primitive: ``(order, bounds)`` from bucket ids.
+
+    ``order[bounds[b]:bounds[b+1]]`` are the positions of bucket ``b``'s
+    elements in ascending original order (stable sort).  Every consumer of
+    a bucket split — :meth:`ModuloPartitioner.split`, the plan builder's
+    ``group_indices``, the distributed table's shard dispatch — routes
+    through this one function so the grouping contract stays in one place.
+    """
+    order = np.argsort(parts, kind="stable")
+    bounds = np.searchsorted(parts[order], np.arange(n_parts + 1))
+    return order, bounds
 
 
 class ModuloPartitioner:
@@ -55,9 +69,7 @@ class ModuloPartitioner:
         """
         keys = as_keys(keys)
         parts = self.part_of(keys)
-        order = np.argsort(parts, kind="stable")
-        sorted_parts = parts[order]
-        bounds = np.searchsorted(sorted_parts, np.arange(self.n_parts + 1))
+        order, bounds = bucket_order(parts, self.n_parts)
         out = []
         for b in range(self.n_parts):
             sel = order[bounds[b] : bounds[b + 1]]

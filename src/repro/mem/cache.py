@@ -1013,6 +1013,36 @@ class CombinedCache:
     def unpin_batch(self, keys: np.ndarray) -> None:
         self.lru.unpin_batch(keys)
 
+    # -- resolved-slot fast path (BatchPlan) ----------------------------
+    # A pinned key's LRU slab row is stable until it is unpinned: pinned
+    # rows are never eviction victims and in-place overwrites reuse the
+    # row.  Callers that pin a working set may therefore resolve rows once
+    # and update/unpin through them without further SlotIndex probes.
+    def resolve_pinned(self, keys: np.ndarray) -> np.ndarray:
+        """LRU slab rows of ``keys``; all must be pinned residents."""
+        keys = as_keys(keys)
+        slots, found = self.lru._index.get(keys)
+        if not bool(np.all(found)) or not bool(
+            np.all(self.lru._pinned[slots])
+        ):
+            raise RuntimeError(
+                "resolve_pinned requires every key to be a pinned LRU "
+                "resident (the in-flight working set)"
+            )
+        return slots
+
+    def update_rows(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite values at resolved LRU rows (no metadata changes).
+
+        Row-level face of :meth:`update_batch_if_present` for keys whose
+        rows were resolved by :meth:`resolve_pinned` while pinned.
+        """
+        self.lru._values[rows] = np.asarray(values, dtype=np.float32)
+
+    def unpin_rows(self, rows: np.ndarray) -> None:
+        """Release pins at resolved LRU rows (see :meth:`resolve_pinned`)."""
+        self.lru._pinned[rows] = False
+
     def update_if_present(self, key: int, value: np.ndarray) -> bool:
         """Overwrite a resident value without changing recency/frequency."""
         key = int(key)

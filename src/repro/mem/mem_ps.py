@@ -111,16 +111,27 @@ class MemPS:
 
     # ------------------------------------------------------------------
     def fetch_local(
-        self, keys: np.ndarray, *, pin: bool = True
+        self,
+        keys: np.ndarray,
+        *,
+        pin: bool = True,
+        out_masks: dict | None = None,
     ) -> tuple[np.ndarray, float, int, int, int]:
         """Serve locally-owned ``keys`` from cache → SSD → fresh-init.
 
         Returns ``(values, seconds, cache_hits, ssd_loaded, fresh)``.
         Loaded/initialized values are inserted (and pinned) in the cache;
-        cache overflow is flushed to the SSD-PS immediately.
+        cache overflow is flushed to the SSD-PS immediately.  With
+        ``out_masks``, records the hit/miss split for the caller's
+        :class:`~repro.plan.NodePlan`: ``out_masks["hit"]`` is the cache
+        hit mask over ``keys`` and ``out_masks["ssd_found"]`` marks which
+        of the misses the SSD resolved.
         """
         keys = as_keys(keys)
         values, hit = self.cache.get_batch(keys)
+        if out_masks is not None:
+            out_masks["hit"] = hit
+            out_masks["ssd_found"] = np.zeros(keys.size, dtype=bool)
         seconds = 0.0
         # LFU->LRU promotions inside get_batch may flush cold entries;
         # persist them before anything else can reference them.
@@ -140,6 +151,8 @@ class MemPS:
             miss_keys = keys[miss_idx]
             result, stats = self.ssd_ps.load(miss_keys)
             seconds += stats.total_seconds
+            if out_masks is not None:
+                out_masks["ssd_found"][miss_idx] = result.found
             vals = result.values
             fresh_idx = np.flatnonzero(~result.found)
             n_ssd = int(result.found.sum())
@@ -154,41 +167,75 @@ class MemPS:
                 seconds += self.ssd_ps.dump(flush_k, flush_v).total_seconds
         return values, seconds, int(hit.sum()), n_ssd, n_fresh
 
-    def serve_remote(self, keys: np.ndarray) -> tuple[np.ndarray, float]:
-        """Handle a pull request from a peer (keys are owned here)."""
+    def serve_remote(
+        self, keys: np.ndarray, *, pre_owned: bool = False
+    ) -> tuple[np.ndarray, float]:
+        """Handle a pull request from a peer (keys are owned here).
+
+        ``pre_owned=True`` skips the ownership re-hash — the caller's
+        :class:`~repro.plan.NodePlan` partitioned the keys by owner
+        already (validated by the plan unit tests).
+        """
         keys = as_keys(keys)
-        if not np.all(self.owns(keys)):
+        if not pre_owned and not np.all(self.owns(keys)):
             raise ValueError("serve_remote called with keys this node does not own")
         values, seconds, _, _, _ = self.fetch_local(keys, pin=True)
         self._served_keys.append(keys)
         return values, seconds
 
-    def prepare(self, working_keys: np.ndarray) -> tuple[np.ndarray, PrepareStats]:
+    def prepare(
+        self, working_keys: np.ndarray, *, plan=None
+    ) -> tuple[np.ndarray, PrepareStats]:
         """Gather values for a batch's working set (Alg. 1 lines 3–4).
 
         Returns values aligned with ``working_keys`` plus the stats used by
-        the Fig. 4(b) decomposition.
+        the Fig. 4(b) decomposition.  With a
+        :class:`~repro.plan.NodePlan`, the owner partition comes from the
+        plan's precomputed index arrays (no re-hash, no re-unique — the
+        plan guarantees uniqueness by construction, demoting the
+        ``all_unique`` check to a debug assertion) and the resolved cache
+        state is recorded on the plan for the write-back stage.
         """
         keys = as_keys(working_keys)
-        if not all_unique(keys):
-            raise ValueError("working keys must be unique")
+        if plan is None:
+            if not all_unique(keys):
+                raise ValueError("working keys must be unique")
+            owners = self.owner_of(keys)
+            local_idx = np.flatnonzero(owners == self.node_id)
+            part_of = lambda p: np.flatnonzero(owners == p)  # noqa: E731
+        else:
+            assert all_unique(keys), "BatchPlan working keys must be unique"
+            local_idx = plan.node_parts[self.node_id]
+            part_of = lambda p: plan.node_parts[p]  # noqa: E731
         values = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
-        owners = self.owner_of(keys)
 
-        local_idx = np.flatnonzero(owners == self.node_id)
-        vals, t_local, n_hits, n_ssd, n_fresh = self.fetch_local(keys[local_idx])
+        masks: dict | None = {} if plan is not None else None
+        vals, t_local, n_hits, n_ssd, n_fresh = self.fetch_local(
+            keys[local_idx], out_masks=masks
+        )
         values[local_idx] = vals
+        if plan is not None:
+            # Resolved once here; the write-back consumes these rows
+            # instead of re-probing the SlotIndex (every local working key
+            # is now a pinned LRU resident).
+            plan.record_prepare(
+                local_slots=self.cache.resolve_pinned(keys[local_idx]),
+                local_hits=masks["hit"],
+                ssd_found=masks["ssd_found"],
+            )
 
         t_remote = 0.0
         n_remote = 0
         for peer_id in range(self.n_nodes):
             if peer_id == self.node_id:
                 continue
-            idx = np.flatnonzero(owners == peer_id)
+            idx = part_of(peer_id)
             if idx.size == 0:
                 continue
             peer = self.peers[peer_id]
-            vals, t_serve = peer.serve_remote(keys[idx])
+            vals, t_serve = peer.serve_remote(
+                keys[idx], pre_owned=plan is not None
+            )
             values[idx] = vals
             n_remote += idx.size
             # Request (keys out) + response (keys+values back).
@@ -213,19 +260,37 @@ class MemPS:
 
     # ------------------------------------------------------------------
     def absorb_updates(
-        self, keys: np.ndarray, values: np.ndarray, *, unpin: bool = True
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        unpin: bool = True,
+        plan=None,
     ) -> float:
         """Write updated values back after a batch (Alg. 1 lines 16–18).
 
         Only locally-owned keys are kept (remote owners get their updates
         from their own GPUs — Section 5 "Update parameters").  Cache
         overflow is dumped to the SSD-PS; returns simulated seconds.
+        With a :class:`~repro.plan.NodePlan` (carrying the LRU rows the
+        prepare stage resolved), the owner split and the cache update go
+        through precomputed indices — no re-hash, no SlotIndex probe.
         """
         keys = as_keys(keys)
+        seconds = 0.0
+        if plan is not None and plan.local_slots is not None:
+            part = plan.local_idx
+            vals_own = np.asarray(values, dtype=np.float32)[part]
+            self.cache.update_rows(plan.local_slots, vals_own)
+            if unpin:
+                self.cache.unpin_rows(plan.local_slots)
+                fk, fv = self.cache.settle_overflow()
+                if fk.size:
+                    seconds += self.ssd_ps.dump(fk, fv).total_seconds
+            return seconds
         own = self.owns(keys)
         keys_own = keys[own]
         vals_own = np.asarray(values, dtype=np.float32)[own]
-        seconds = 0.0
         self.cache.update_batch_if_present(keys_own, vals_own)
         if unpin:
             self.cache.unpin_batch(keys_own)
@@ -236,15 +301,22 @@ class MemPS:
         return seconds
 
     def apply_gradients(
-        self, keys: np.ndarray, grads: np.ndarray
+        self, keys: np.ndarray, grads: np.ndarray, *, pre_owned: bool = False
     ) -> float:
         """Owner-side optimizer application for keys *not* staged in the
         local HBM (the update queue described in the module docstring of
-        :mod:`repro.hbm.hbm_ps`)."""
+        :mod:`repro.hbm.hbm_ps`).
+
+        ``pre_owned=True`` skips the ownership filter — the caller (a
+        planned round) has already partitioned the keys by owner.
+        """
         keys = as_keys(keys)
-        own = self.owns(keys)
-        keys = keys[own]
-        grads = np.asarray(grads, dtype=np.float64)[own]
+        if pre_owned:
+            grads = np.asarray(grads, dtype=np.float64)
+        else:
+            own = self.owns(keys)
+            keys = keys[own]
+            grads = np.asarray(grads, dtype=np.float64)[own]
         if keys.size == 0:
             return 0.0
         values, t_fetch, _, _, _ = self.fetch_local(keys, pin=False)

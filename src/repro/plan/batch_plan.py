@@ -1,0 +1,284 @@
+"""The per-round :class:`RoundPlan` and its builder.
+
+Everything in a plan is a *function of the round's batches and the cluster
+topology* — nothing depends on parameter values or cache state — so the
+whole plan can be computed in the read stage, before any tier is touched:
+
+* per node: the sorted unique working keys, their node-owner partition
+  (who serves each key in the MEM tier), their per-GPU partition (where
+  each key is staged in the HBM tier), and the sharded mini-batches;
+* per (node, shard): the mini-batch's sorted unique keys, their gather
+  positions inside the node's working set, and per-GPU key counts (what
+  the HBM pull/push cost model charges);
+* per sync round ``m``: the union of keys every node's workers touched —
+  which is exactly the key set of the merged all-reduce update — with each
+  node's resident/missing split against its staged working set.
+
+Two plan fields are *not* known at build time and are filled in as stages
+run (see :meth:`NodePlan.record_prepare`): the MEM cache hit/miss split of
+the local partition and the resolved LRU slot rows of the pinned working
+keys.  The write-back stage consumes the slots instead of re-probing the
+SlotIndex for keys the prepare stage just located.
+
+Plans are computed with exactly one ``np.unique`` per key set and one
+stable argsort per partition level; every later consumer is a pure index
+gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.hbm.partition import ModuloPartitioner, bucket_order
+from repro.utils.keys import KEY_DTYPE
+
+__all__ = [
+    "MinibatchPlan",
+    "NodePlan",
+    "NodeSyncPlan",
+    "SyncPlan",
+    "RoundPlan",
+    "build_round_plan",
+    "group_indices",
+]
+
+
+def group_indices(part_of: np.ndarray, n_parts: int) -> list[np.ndarray]:
+    """Index arrays of each bucket, in ascending original position.
+
+    Equivalent to ``[np.flatnonzero(part_of == b) for b in range(n_parts)]``
+    (and to the order :meth:`ModuloPartitioner.split` produces) but with a
+    single sort over the whole array, via the shared
+    :func:`~repro.hbm.partition.bucket_order` primitive.
+    """
+    order, bounds = bucket_order(part_of, n_parts)
+    return [order[bounds[b] : bounds[b + 1]] for b in range(n_parts)]
+
+
+def _positions_in(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Positions of ``queries`` in ``sorted_keys`` (every query present)."""
+    return np.searchsorted(sorted_keys, queries)
+
+
+def _membership(
+    sorted_keys: np.ndarray, queries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(mask, positions) of sorted ``queries`` against sorted ``sorted_keys``.
+
+    ``positions`` is only meaningful where ``mask`` is True.
+    """
+    pos = np.searchsorted(sorted_keys, queries)
+    ok = pos < sorted_keys.size
+    mask = np.zeros(queries.size, dtype=bool)
+    if sorted_keys.size:
+        mask[ok] = sorted_keys[pos[ok]] == queries[ok]
+    return mask, pos
+
+
+@dataclass
+class MinibatchPlan:
+    """Key plan of one worker mini-batch (one (node, shard) pair)."""
+
+    #: sorted unique keys of the shard (``Batch.unique_keys()``, precomputed)
+    keys: np.ndarray
+    #: positions of :attr:`keys` inside the node's sorted working set
+    work_idx: np.ndarray
+    #: positions of :attr:`keys` inside the node's sync-round key union
+    #: (the gradient-buffer row of each key)
+    sync_idx: np.ndarray
+    #: number of keys owned by each GPU (drives the HBM pull/push charges)
+    gpu_counts: np.ndarray
+    #: size of the node's sync-round key union (gradient-buffer height)
+    sync_size: int
+
+
+@dataclass
+class NodeSyncPlan:
+    """One node's view of sync round ``m``'s merged all-reduce update."""
+
+    #: the node's own drained key union for this sync round (sorted)
+    keys: np.ndarray
+    #: positions in the *global* update key set that are staged on this
+    #: node's HBM (membership in the node's working set)
+    resident_idx: np.ndarray
+    #: their positions inside the node's working set
+    resident_work_idx: np.ndarray
+    #: per-GPU counts of the resident keys (apply-update cost charges)
+    resident_gpu_counts: np.ndarray
+    #: positions in the global update key set absent from this node's HBM
+    missing_idx: np.ndarray
+    #: subset of :attr:`missing_idx` whose keys this node *owns* in the
+    #: MEM tier (the owner-queue application path)
+    missing_own_idx: np.ndarray
+
+
+@dataclass
+class SyncPlan:
+    """Cluster-wide plan of one sync round (one mini-batch index ``m``)."""
+
+    #: union over nodes of the keys their workers touched this round —
+    #: exactly the key set of the merged all-reduce update, sorted
+    keys: np.ndarray
+    nodes: list[NodeSyncPlan]
+
+
+@dataclass
+class NodePlan:
+    """One node's key plan for a round."""
+
+    node_id: int
+    #: sorted unique working keys of the node's batch (Alg. 1 line 3)
+    keys: np.ndarray
+    #: per-node index arrays into :attr:`keys` (MEM-tier owner partition);
+    #: ``node_parts[node_id]`` is the local shard
+    node_parts: list[np.ndarray]
+    #: GPU owner of every working key (HBM-tier partition)
+    gpu_of: np.ndarray
+    #: per-GPU index arrays into :attr:`keys`
+    gpu_parts: list[np.ndarray]
+    #: the sharded mini-batches (``Batch.shard``, precomputed)
+    shards: list[Batch]
+    #: per-shard plans, aligned with :attr:`shards`
+    minibatches: list[MinibatchPlan]
+    # -- filled in as stages run ---------------------------------------
+    #: LRU slab rows of the pinned local working keys (resolved once by
+    #: ``MemPS.prepare``; the write-back updates/unpins through these
+    #: instead of re-probing the SlotIndex)
+    local_slots: np.ndarray | None = None
+    #: cache hit mask of the local partition (recorded by the prepare
+    #: stage's cache probe)
+    local_hits: np.ndarray | None = None
+    #: of the local cache misses, which ones the SSD resolved (the rest
+    #: were fresh-initialized)
+    ssd_found: np.ndarray | None = None
+
+    @property
+    def local_idx(self) -> np.ndarray:
+        """Index array of the locally-owned working keys."""
+        return self.node_parts[self.node_id]
+
+    def record_prepare(
+        self,
+        *,
+        local_slots: np.ndarray,
+        local_hits: np.ndarray,
+        ssd_found: np.ndarray,
+    ) -> None:
+        """Attach the prepare stage's resolved state (slots + splits)."""
+        self.local_slots = local_slots
+        self.local_hits = local_hits
+        self.ssd_found = ssd_found
+
+
+@dataclass
+class RoundPlan:
+    """The complete per-round key plan, shared by every tier."""
+
+    nodes: list[NodePlan]
+    #: one :class:`SyncPlan` per mini-batch round
+    sync: list[SyncPlan] = field(default_factory=list)
+
+    @property
+    def n_working_keys(self) -> int:
+        return int(sum(n.keys.size for n in self.nodes))
+
+
+def build_round_plan(
+    batches: list[Batch],
+    *,
+    node_partitioner: ModuloPartitioner,
+    gpu_partitioner: ModuloPartitioner,
+    n_gpus: int,
+    mb_rounds: int,
+) -> RoundPlan:
+    """Compute the round's full key plan from its batches.
+
+    ``batches[i]`` is node ``i``'s global batch; partitioners are the
+    cluster's shared MEM-tier (node) and HBM-tier (GPU) policies.
+    """
+    n_nodes = len(batches)
+    node_plans: list[NodePlan] = []
+    # Per (node, m): positions of the sync-round key union inside the
+    # node's working set — reused to build the cross-node sync plans.
+    m_union_work_idx: list[list[np.ndarray]] = []
+    for i, batch in enumerate(batches):
+        working = batch.unique_keys()
+        node_parts = group_indices(node_partitioner.part_of(working), n_nodes)
+        gpu_of = gpu_partitioner.part_of(working)
+        gpu_parts = group_indices(gpu_of, n_gpus)
+        shards = batch.shard(n_gpus * mb_rounds)
+        shard_keys = [s.unique_keys() for s in shards]
+        shard_work_idx = [_positions_in(working, k) for k in shard_keys]
+        unions: list[np.ndarray] = []
+        minibatches: list[MinibatchPlan] = []
+        for m in range(mb_rounds):
+            idx_group = shard_work_idx[m * n_gpus : (m + 1) * n_gpus]
+            union_idx = (
+                np.unique(np.concatenate(idx_group))
+                if any(ix.size for ix in idx_group)
+                else np.empty(0, dtype=np.int64)
+            )
+            unions.append(union_idx)
+            for g in range(n_gpus):
+                widx = idx_group[g]
+                minibatches.append(
+                    MinibatchPlan(
+                        keys=shard_keys[m * n_gpus + g],
+                        work_idx=widx,
+                        sync_idx=_positions_in(union_idx, widx),
+                        gpu_counts=np.bincount(
+                            gpu_of[widx], minlength=n_gpus
+                        ),
+                        sync_size=int(union_idx.size),
+                    )
+                )
+        m_union_work_idx.append(unions)
+        node_plans.append(
+            NodePlan(
+                node_id=i,
+                keys=working,
+                node_parts=node_parts,
+                gpu_of=gpu_of,
+                gpu_parts=gpu_parts,
+                shards=shards,
+                minibatches=minibatches,
+            )
+        )
+
+    sync_plans: list[SyncPlan] = []
+    for m in range(mb_rounds):
+        node_keys = [
+            node_plans[i].keys[m_union_work_idx[i][m]] for i in range(n_nodes)
+        ]
+        non_empty = [k for k in node_keys if k.size]
+        global_keys = (
+            np.unique(np.concatenate(non_empty))
+            if non_empty
+            else np.empty(0, dtype=KEY_DTYPE)
+        )
+        owner_of_global = node_partitioner.part_of(global_keys)
+        per_node: list[NodeSyncPlan] = []
+        for i, plan in enumerate(node_plans):
+            resident, pos = _membership(plan.keys, global_keys)
+            resident_idx = np.flatnonzero(resident)
+            resident_work_idx = pos[resident]
+            missing_idx = np.flatnonzero(~resident)
+            per_node.append(
+                NodeSyncPlan(
+                    keys=node_keys[i],
+                    resident_idx=resident_idx,
+                    resident_work_idx=resident_work_idx,
+                    resident_gpu_counts=np.bincount(
+                        plan.gpu_of[resident_work_idx], minlength=n_gpus
+                    ),
+                    missing_idx=missing_idx,
+                    missing_own_idx=missing_idx[
+                        owner_of_global[missing_idx] == i
+                    ],
+                )
+            )
+        sync_plans.append(SyncPlan(keys=global_keys, nodes=per_node))
+    return RoundPlan(nodes=node_plans, sync=sync_plans)

@@ -93,6 +93,11 @@ class FileStore:
         #: vectorized key -> file_id mapping (batch-first store layer).
         self._mapping = SlotIndex(1024)
         self._next_file_id = 0
+        #: incrementally maintained disk footprint (updated on write and
+        #: erase) — the compactor polls ``total_bytes`` on every dump, so
+        #: recomputing it as a sum over all files would be O(files) per
+        #: check.
+        self._total_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -108,8 +113,8 @@ class FileStore:
 
     @property
     def total_bytes(self) -> int:
-        """Disk footprint including stale rows."""
-        return sum(self.file_bytes(f) for f in self._files.values())
+        """Disk footprint including stale rows (maintained incrementally)."""
+        return self._total_bytes
 
     @property
     def live_bytes(self) -> int:
@@ -178,6 +183,7 @@ class FileStore:
             f = ParameterFile(fid, chunk_keys.copy())
             self._store_payload(f, chunk_vals.copy())
             self._files[fid] = f
+            self._total_bytes += self.file_bytes(f)
             total_t += self.device.write(self.file_bytes(f))
             # Repoint the mapping; bump old files' stale counters.
             old_fids, existed = self._mapping.set(
@@ -207,16 +213,24 @@ class FileStore:
         total_t = 0.0
         files_read = 0
         bytes_read = 0
-        for fid in np.unique(fids[fids >= 0]):
-            f = self._files[int(fid)]
+        # Group requested keys by file with one sort instead of scanning
+        # the whole fid array once per touched file.
+        order = np.argsort(fids, kind="stable")
+        sorted_fids = fids[order]
+        start = int(np.searchsorted(sorted_fids, 0))  # skip unmapped (-1)
+        while start < order.size:
+            fid = int(sorted_fids[start])
+            stop = int(np.searchsorted(sorted_fids, fid, side="right"))
+            f = self._files[fid]
             payload = self._payload(f)
-            sel = np.flatnonzero(fids == fid)
+            sel = order[start:stop]
             rows = np.searchsorted(f.keys, keys[sel])
             out[sel] = payload[rows]
             found[sel] = True
             total_t += self.device.read(self.file_bytes(f))
             files_read += 1
             bytes_read += self.file_bytes(f)
+            start = stop
         return ReadResult(out, found, total_t, files_read, bytes_read)
 
     # ------------------------------------------------------------------
@@ -241,6 +255,7 @@ class FileStore:
                 f"({f.path!r}) — refusing to erase lost data"
             )
         del self._files[file_id]
+        self._total_bytes -= self.file_bytes(f)
         if f.path is not None:
             os.remove(f.path)
 
@@ -338,13 +353,20 @@ class FileStore:
             )
             self._store_payload(f, file_values[lo:hi].copy())
             self._files[int(fid)] = f
+            self._total_bytes += self.file_bytes(f)
         self._next_file_id = next_file_id
         if map_keys_in.size:
             self._mapping.set(map_keys_in, map_fids_in)
         self.check_invariants()
 
     def check_invariants(self) -> None:
-        """Debug/test hook: mapping and stale counters must agree."""
+        """Debug/test hook: mapping, stale counters, byte accounting."""
+        recomputed = sum(self.file_bytes(f) for f in self._files.values())
+        if recomputed != self._total_bytes:
+            raise AssertionError(
+                f"cached total_bytes {self._total_bytes} != recomputed "
+                f"{recomputed}"
+            )
         for fid, f in self._files.items():
             live = int(np.sum(self.mapping_of(f.keys) == fid))
             if live != f.n_live:

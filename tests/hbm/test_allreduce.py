@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.hardware.network import Network
 from repro.hardware.specs import NetworkSpec
 from repro.hbm.allreduce import (
+    DenseGradAccumulator,
     SparseUpdate,
     allreduce_dense,
     hierarchical_allreduce,
@@ -140,6 +141,41 @@ class TestAllreduceDense:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             allreduce_dense([])
+
+    def test_float32_sum_matches_float64_within_tolerance(self):
+        """Regression for the reused-float32-buffer accumulation: the sum
+        must agree with an exact float64 reduction to float32 precision."""
+        rng = np.random.default_rng(5)
+        grads = [
+            [rng.normal(size=(32, 16)), rng.normal(size=48)] for _ in range(4)
+        ]
+        total, _ = allreduce_dense(grads)
+        exact = [
+            np.sum([g[j] for g in grads], axis=0, dtype=np.float64)
+            for j in range(2)
+        ]
+        for got, want in zip(total, exact):
+            assert got.dtype == np.float32
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_out_buffers_are_reused_across_calls(self):
+        """No per-call temporaries: the accumulator's arrays are written
+        in place on every call."""
+        acc = DenseGradAccumulator()
+        grads_a = [[np.ones((3, 3))], [np.ones((3, 3))]]
+        total_a, _ = allreduce_dense(grads_a, out=acc)
+        first = [id(t) for t in total_a]
+        grads_b = [[np.full((3, 3), 2.0)], [np.full((3, 3), 3.0)]]
+        total_b, _ = allreduce_dense(grads_b, out=acc)
+        assert [id(t) for t in total_b] == first
+        assert np.all(total_b[0] == 5.0)
+
+    def test_accumulator_reallocates_on_shape_change(self):
+        acc = DenseGradAccumulator()
+        allreduce_dense([[np.ones(4)]], out=acc)
+        total, _ = allreduce_dense([[np.ones((2, 2))]], out=acc)
+        assert total[0].shape == (2, 2)
+        assert np.all(total[0] == 1.0)
 
 
 @given(

@@ -1,0 +1,158 @@
+"""Unit tests for the per-round key plan builder."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import CTRDataGenerator
+from repro.hbm.partition import ModuloPartitioner
+from repro.plan import build_round_plan, group_indices
+from repro.utils.keys import as_keys
+
+N_NODES = 2
+N_GPUS = 2
+MB_ROUNDS = 2
+
+_NODE_SALT = 0x6E6F6465
+_GPU_SALT = 0x67707573
+
+
+@pytest.fixture
+def partitioners():
+    return (
+        ModuloPartitioner(N_NODES, salt=_NODE_SALT),
+        ModuloPartitioner(N_GPUS, salt=_GPU_SALT),
+    )
+
+
+@pytest.fixture
+def plan(tiny_spec, partitioners):
+    gen = CTRDataGenerator(tiny_spec, seed=3)
+    batches = [gen.batch(i, 128) for i in range(N_NODES)]
+    node_p, gpu_p = partitioners
+    return (
+        batches,
+        build_round_plan(
+            batches,
+            node_partitioner=node_p,
+            gpu_partitioner=gpu_p,
+            n_gpus=N_GPUS,
+            mb_rounds=MB_ROUNDS,
+        ),
+    )
+
+
+class TestGroupIndices:
+    def test_matches_flatnonzero(self, rng):
+        parts = rng.integers(0, 5, 200)
+        got = group_indices(parts, 5)
+        for b in range(5):
+            assert np.array_equal(got[b], np.flatnonzero(parts == b))
+
+    def test_empty(self):
+        got = group_indices(np.zeros(0, dtype=np.int64), 3)
+        assert len(got) == 3 and all(g.size == 0 for g in got)
+
+
+class TestNodePlan:
+    def test_keys_are_batch_working_set(self, plan):
+        batches, rp = plan
+        for b, npn in zip(batches, rp.nodes):
+            assert np.array_equal(npn.keys, b.unique_keys())
+
+    def test_node_parts_partition_by_owner(self, plan, partitioners):
+        _, rp = plan
+        node_p, _ = partitioners
+        for npn in rp.nodes:
+            owners = node_p.part_of(npn.keys)
+            together = np.concatenate([p for p in npn.node_parts])
+            assert np.array_equal(np.sort(together), np.arange(npn.keys.size))
+            for peer, idx in enumerate(npn.node_parts):
+                assert np.array_equal(idx, np.flatnonzero(owners == peer))
+
+    def test_gpu_parts_partition_by_gpu(self, plan, partitioners):
+        _, rp = plan
+        _, gpu_p = partitioners
+        for npn in rp.nodes:
+            assert np.array_equal(npn.gpu_of, gpu_p.part_of(npn.keys))
+            for g, idx in enumerate(npn.gpu_parts):
+                assert np.array_equal(idx, np.flatnonzero(npn.gpu_of == g))
+
+    def test_minibatch_plans_align_with_shards(self, plan):
+        _, rp = plan
+        for npn in rp.nodes:
+            assert len(npn.shards) == len(npn.minibatches) == N_GPUS * MB_ROUNDS
+            for shard, mbp in zip(npn.shards, npn.minibatches):
+                assert np.array_equal(mbp.keys, shard.unique_keys())
+                # work_idx gathers the mini-batch keys from the working set
+                assert np.array_equal(npn.keys[mbp.work_idx], mbp.keys)
+                assert int(mbp.gpu_counts.sum()) == mbp.keys.size
+
+    def test_sync_idx_points_into_round_union(self, plan):
+        _, rp = plan
+        for npn in rp.nodes:
+            for m in range(MB_ROUNDS):
+                group = npn.minibatches[m * N_GPUS : (m + 1) * N_GPUS]
+                union = np.unique(
+                    np.concatenate([p.keys for p in group])
+                    if any(p.keys.size for p in group)
+                    else as_keys([])
+                )
+                for mbp in group:
+                    assert mbp.sync_size == union.size
+                    assert np.array_equal(union[mbp.sync_idx], mbp.keys)
+
+
+class TestSyncPlan:
+    def test_global_keys_are_union_of_node_unions(self, plan):
+        _, rp = plan
+        for m, sp in enumerate(rp.sync):
+            per_node = [n.keys for n in sp.nodes if n.keys.size]
+            union = np.unique(np.concatenate(per_node))
+            assert np.array_equal(sp.keys, union)
+
+    def test_resident_missing_split(self, plan):
+        _, rp = plan
+        for sp in rp.sync:
+            for npn, nsp in zip(rp.nodes, sp.nodes):
+                in_working = np.isin(sp.keys, npn.keys)
+                assert np.array_equal(nsp.resident_idx, np.flatnonzero(in_working))
+                assert np.array_equal(nsp.missing_idx, np.flatnonzero(~in_working))
+                assert np.array_equal(
+                    npn.keys[nsp.resident_work_idx], sp.keys[nsp.resident_idx]
+                )
+                assert int(nsp.resident_gpu_counts.sum()) == nsp.resident_idx.size
+
+    def test_missing_own_is_owner_filtered(self, plan, partitioners):
+        _, rp = plan
+        node_p, _ = partitioners
+        for sp in rp.sync:
+            for i, nsp in enumerate(sp.nodes):
+                owners = node_p.part_of(sp.keys)
+                expected = nsp.missing_idx[owners[nsp.missing_idx] == i]
+                assert np.array_equal(nsp.missing_own_idx, expected)
+
+
+class TestRecordPrepare:
+    def test_plan_records_resolved_state(self, tiny_spec, small_config):
+        from repro.core.cluster import HPSCluster, RoundContext
+
+        cluster = HPSCluster(tiny_spec, small_config, functional_batch_size=128)
+        ctx = RoundContext(round_index=0)
+        cluster.stage_read(ctx)
+        assert ctx.plan is not None
+        for npn in ctx.plan.nodes:
+            assert npn.local_slots is None  # not resolved yet
+        cluster.stage_prepare(ctx)
+        for node, npn in zip(cluster.nodes, ctx.plan.nodes):
+            assert npn.local_slots is not None
+            assert npn.local_slots.size == npn.local_idx.size
+            assert npn.local_hits is not None
+            assert npn.ssd_found is not None
+            # the resolved rows hold exactly the pinned local working keys
+            lru = node.mem_ps.cache.lru
+            assert np.array_equal(
+                lru._keys[npn.local_slots], npn.keys[npn.local_idx]
+            )
+            assert bool(np.all(lru._pinned[npn.local_slots]))
+        cluster.stage_load(ctx)
+        cluster.stage_train(ctx)  # leave the cluster quiescent

@@ -1,0 +1,62 @@
+"""Schema validation of the ``BENCH_e2e.json`` perf ledger."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.harness import BENCH_E2E_SCHEMA, run_e2e_throughput
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+ROW_FIELDS = {
+    "mode": str,
+    "wall_seconds": float,
+    "rounds_per_s": float,
+    "keys_per_s": float,
+    "examples_per_s": float,
+    "stage_seconds": dict,
+}
+STAGES = {"read", "prepare", "load", "train"}
+MODES = {"lockstep-unplanned", "lockstep-planned", "pipelined-planned"}
+
+
+def validate_bench_e2e(doc: dict) -> None:
+    assert doc["schema"] == BENCH_E2E_SCHEMA
+    workload = doc["workload"]
+    for key in (
+        "model",
+        "n_rounds",
+        "batch_size",
+        "n_nodes",
+        "gpus_per_node",
+        "minibatches_per_gpu",
+        "seed",
+    ):
+        assert key in workload, f"workload missing {key}"
+    assert isinstance(doc["parameter_parity"], bool)
+    assert isinstance(doc["speedup_planned_over_unplanned"], float)
+    assert {r["mode"] for r in doc["rows"]} == MODES
+    for row in doc["rows"]:
+        for field, typ in ROW_FIELDS.items():
+            assert isinstance(row[field], typ), f"{row['mode']}.{field}"
+        assert set(row["stage_seconds"]) == STAGES
+        assert row["wall_seconds"] > 0
+        assert row["rounds_per_s"] > 0
+        assert row["keys_per_s"] > 0
+
+
+class TestBenchSchema:
+    def test_fresh_run_matches_schema_and_roundtrips(self, tmp_path):
+        out = tmp_path / "BENCH_e2e.json"
+        result = run_e2e_throughput(
+            n_rounds=2, batch_size=128, write_path=str(out)
+        )
+        validate_bench_e2e(result)
+        validate_bench_e2e(json.loads(out.read_text()))
+
+    def test_committed_ledger_is_valid(self):
+        path = REPO_ROOT / "BENCH_e2e.json"
+        if not path.exists():
+            pytest.fail("BENCH_e2e.json must be committed at the repo root")
+        validate_bench_e2e(json.loads(path.read_text()))

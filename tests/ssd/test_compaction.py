@@ -138,3 +138,63 @@ def test_compaction_never_loses_latest_values(key_stream):
     r = store.read(keys)
     assert r.found.all()
     assert r.values[:, 0].tolist() == [expected[int(k)] for k in keys]
+
+
+class TestIncrementalByteAccounting:
+    """``FileStore.total_bytes`` is maintained incrementally (updated on
+    write/erase) instead of re-summed over every file per compaction
+    check; the Compactor's trigger decisions must be unchanged."""
+
+    def test_cached_total_matches_recomputation(self, store):
+        comp = Compactor(store, usage_threshold=1.4)
+        rng = np.random.default_rng(0)
+        for step in range(30):
+            keys = np.unique(rng.integers(0, 40, 12))
+            write(store, keys.tolist(), base=float(step))
+            comp.compact()
+            recomputed = sum(store.file_bytes(f) for f in store.files())
+            assert store.total_bytes == recomputed
+            store.check_invariants()
+
+    def test_trigger_decisions_unchanged(self, store):
+        """should_compact must equal the decision a fresh O(files)
+        recomputation would make, at every point of a churny workload."""
+        comp = Compactor(store, usage_threshold=1.5)
+        rng = np.random.default_rng(1)
+        decisions = []
+        for step in range(25):
+            keys = np.unique(rng.integers(0, 30, 10))
+            write(store, keys.tolist(), base=float(step))
+            recomputed = sum(store.file_bytes(f) for f in store.files())
+            live = store.live_bytes
+            expected = (
+                recomputed > 0
+                if live == 0
+                else recomputed > comp.usage_threshold * live
+            )
+            assert comp.should_compact() == expected
+            decisions.append(comp.should_compact())
+            comp.compact()
+        assert any(decisions)  # the workload actually exercised the trigger
+
+    def test_erase_updates_accounting(self, store):
+        write(store, range(4))
+        write(store, range(4, 8))
+        before = store.total_bytes
+        first = store.files()[0]
+        fid, first_bytes = first.file_id, store.file_bytes(first)
+        write(store, range(4), base=9.0)  # supersede file0 (same size)
+        store.erase(fid)
+        # +1 equally-sized file, -file0: the footprint is back where it was.
+        assert store.total_bytes == before
+        assert first_bytes > 0
+        store.check_invariants()
+
+    def test_snapshot_roundtrip_restores_accounting(self, store):
+        write(store, range(10))
+        write(store, range(5), base=2.0)
+        state = store.export_state()
+        other = FileStore(1, file_capacity=4)
+        other.load_state(state)
+        assert other.total_bytes == store.total_bytes
+        other.check_invariants()
