@@ -1,15 +1,21 @@
-"""End-to-end throughput ledger: planned vs pre-plan wall-clock speed.
+"""End-to-end throughput ledger: per-scenario wall-clock speed.
 
-The BatchPlan threads one per-round key plan through every tier; this
-benchmark is the repo's perf trajectory anchor.  It asserts
+The BatchPlan threads one per-round key plan through every tier, and the
+admission engine keeps cache batch ops bulk-exact under memory pressure;
+this benchmark is the repo's perf trajectory anchor.  Per scenario it
+asserts
 
-* losslessness — planned and pipelined parameters bit-identical to the
-  pre-plan path;
-* the plan pays — ≥ 1.5× rounds/s over the pre-plan baseline;
-* no silent regression — fresh rounds/s within 30% of the committed
-  ``BENCH_e2e.json`` baseline (skipped when the machines obviously
-  differ is not attempted: the CI perf-smoke job running this check is
-  non-blocking).
+* losslessness — every mode's parameters bit-identical (and, for the
+  pressure scenario, simulated seconds bit-identical to the per-key
+  oracle);
+* the refactors pay — the planned path ≥ 1.5× rounds/s over the
+  pre-plan baseline, and the admission engine ≥ 1.5× rounds/s over the
+  pre-refactor plan-or-replay cache on the pressure workload;
+* no scalar regressions — the bulk modes report **zero** whole-batch
+  per-key replays under pressure;
+* no silent perf regression — fresh rounds/s within 30% of the
+  committed ``BENCH_e2e.json`` baseline, compared per (scenario, mode)
+  inside the non-blocking CI perf-smoke job.
 
 Set ``BENCH_WRITE=1`` to refresh ``BENCH_e2e.json`` at the repo root
 (the CI perf job does, and uploads it as an artifact).
@@ -28,61 +34,101 @@ BASELINE_PATH = REPO_ROOT / "BENCH_e2e.json"
 #: Fail only on a >30% rounds/s drop vs the committed baseline.
 REGRESSION_TOLERANCE = 0.30
 
-#: Wall-clock ratio floor, relaxed on shared CI runners (noisy neighbors
-#: compress the planned/unplanned ratio) — microbenchmark convention.
+#: Wall-clock ratio floor.  The documented claims (≥1.5× planned over
+#: unplanned, ≥1.5× bulk over legacy under pressure) are enforced at
+#: full strength on dedicated machines; shared CI runners compress
+#: every timing ratio, so the *live* floor relaxes to 1.2 there and the
+#: full 1.5× pressure claim is pinned deterministically against the
+#: committed artifact in tests/plan/test_bench_schema.py.
 REQUIRED_SPEEDUP = 1.2 if os.environ.get("CI") else 1.5
 
 
 def test_e2e_throughput(benchmark):
-    row = benchmark.pedantic(run_e2e_throughput, rounds=1, iterations=1)
-    # Refresh the ledger before any assertion so a failing run still
-    # uploads its actual measurement, not the stale committed baseline.
+    # Snapshot the committed baseline, then (under BENCH_WRITE=1) let the
+    # harness's own serializer refresh it *before* any assertion, so a
+    # failing run still uploads its actual measurement and manual
+    # regenerations produce byte-identical files.
     baseline_snapshot = (
         json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
     )
-    if os.environ.get("BENCH_WRITE") == "1":
-        BASELINE_PATH.write_text(
-            json.dumps(row, indent=2, sort_keys=True) + "\n"
-        )
-    print(
-        "\n"
-        + format_table(
-            ["mode", "rounds/s", "keys/s", "examples/s", "wall (s)"],
-            [
-                (
-                    r["mode"],
-                    r["rounds_per_s"],
-                    r["keys_per_s"],
-                    r["examples_per_s"],
-                    r["wall_seconds"],
-                )
-                for r in row["rows"]
-            ],
-            title="End-to-end training throughput (wall clock)",
-        )
+    write_path = (
+        str(BASELINE_PATH) if os.environ.get("BENCH_WRITE") == "1" else None
     )
+    doc = benchmark.pedantic(
+        run_e2e_throughput, kwargs={"write_path": write_path}, rounds=1,
+        iterations=1,
+    )
+    scenarios = {s["name"]: s for s in doc["scenarios"]}
+    for scenario in doc["scenarios"]:
+        print(
+            "\n"
+            + format_table(
+                ["mode", "rounds/s", "keys/s", "examples/s", "wall (s)"],
+                [
+                    (
+                        r["mode"],
+                        r["rounds_per_s"],
+                        r["keys_per_s"],
+                        r["examples_per_s"],
+                        r["wall_seconds"],
+                    )
+                    for r in scenario["rows"]
+                ],
+                title=f"End-to-end throughput: {scenario['name']} scenario",
+            )
+        )
+
+    assert doc["schema"] == BENCH_E2E_SCHEMA
+    default = scenarios["default"]
+    pressure = scenarios["pressure"]
     print(
-        f"planned-over-unplanned speedup: "
-        f"{row['speedup_planned_over_unplanned']:.2f}x"
+        f"planned-over-unplanned: "
+        f"{default['speedup_planned_over_unplanned']:.2f}x, "
+        f"pressure bulk-over-legacy: "
+        f"{pressure['speedup_bulk_over_legacy']:.2f}x, "
+        f"bulk-over-scalar: {pressure['speedup_bulk_over_scalar']:.2f}x"
     )
 
-    # Losslessness: the plan changes bookkeeping, never the math.
-    assert row["parameter_parity"] is True
-    assert row["schema"] == BENCH_E2E_SCHEMA
-    # The perf claim: the planned path beats the pre-plan baseline.
-    assert row["speedup_planned_over_unplanned"] >= REQUIRED_SPEEDUP
+    # Losslessness: neither the plan nor the admission engine changes
+    # the math — and under pressure not even the simulated clock.
+    assert default["parameter_parity"] is True
+    assert pressure["parameter_parity"] is True
+    assert pressure["seconds_parity"] is True
+    # The admission engine never degrades to the whole-batch per-key
+    # replay (the acceptance gate for the bulk-exact cache path).
+    assert pressure["bulk_scalar_fallbacks"] == 0
+    # The perf claims: the planned path beats the pre-plan baseline
+    # (fat margin — safe for the blocking tier-1 job), and the admission
+    # engine beats the pre-refactor plan-or-replay cache on the pressure
+    # workload.  The pressure margin is thinner and machine-relative, so
+    # its live assert arms only inside the non-blocking perf-smoke job;
+    # the committed-artifact claim is asserted deterministically in
+    # tests/plan/test_bench_schema.py.
+    assert default["speedup_planned_over_unplanned"] >= REQUIRED_SPEEDUP
+    if os.environ.get("BENCH_COMPARE") == "1":
+        assert pressure["speedup_bulk_over_legacy"] >= REQUIRED_SPEEDUP
 
     # Absolute rounds/s vs the committed ledger is machine-relative, so
     # the comparison only arms inside the CI perf-smoke job (which is
-    # non-blocking); the ratio checks above run everywhere.
-    modes = {r["mode"]: r for r in row["rows"]}
+    # non-blocking); the ratio checks above run everywhere.  The gate is
+    # per (scenario, mode): an aggregate comparison would let a pressure
+    # regression hide behind a default-scenario win.
     if os.environ.get("BENCH_COMPARE") == "1" and baseline_snapshot:
-        for base_row in baseline_snapshot.get("rows", []):
-            fresh = modes.get(base_row["mode"])
-            if fresh is None:
-                continue
-            floor = base_row["rounds_per_s"] * (1.0 - REGRESSION_TOLERANCE)
-            assert fresh["rounds_per_s"] >= floor, (
-                f"{base_row['mode']} regressed: {fresh['rounds_per_s']:.2f} "
-                f"rounds/s < 70% of committed {base_row['rounds_per_s']:.2f}"
-            )
+        fresh_rows = {
+            (s["name"], r["mode"]): r
+            for s in doc["scenarios"]
+            for r in s["rows"]
+        }
+        for base_scenario in baseline_snapshot.get("scenarios", []):
+            for base_row in base_scenario.get("rows", []):
+                fresh = fresh_rows.get(
+                    (base_scenario["name"], base_row["mode"])
+                )
+                if fresh is None:
+                    continue
+                floor = base_row["rounds_per_s"] * (1.0 - REGRESSION_TOLERANCE)
+                assert fresh["rounds_per_s"] >= floor, (
+                    f"{base_scenario['name']}/{base_row['mode']} regressed: "
+                    f"{fresh['rounds_per_s']:.2f} rounds/s < 70% of "
+                    f"committed {base_row['rounds_per_s']:.2f}"
+                )

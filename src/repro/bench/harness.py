@@ -46,11 +46,40 @@ __all__ = [
     "run_checkpoint_overhead",
     "run_e2e_throughput",
     "BENCH_E2E_SCHEMA",
+    "PRESSURE_WORKLOAD",
     "small_cluster_config",
 ]
 
 #: Schema tag written into ``BENCH_e2e.json`` (bump on layout changes).
-BENCH_E2E_SCHEMA = "bench-e2e/v1"
+#: v2: per-scenario layout — the perf-smoke regression gate compares
+#: rounds/s per (scenario, mode), not just the aggregate default run.
+BENCH_E2E_SCHEMA = "bench-e2e/v2"
+
+#: The memory-pressure e2e workload: cache capacity far below the hot key
+#: set, an LFU-heavy split so LFU→LRU promotion storms form an eviction
+#: frontier every round, and an LRU tier sized just above the pinned
+#: working set.  Under the pre-refactor plan-or-replay cache this
+#: workload degraded nearly every prepare to the per-key replay; the
+#: admission engine keeps it bulk-exact (``scalar_fallbacks == 0``).
+PRESSURE_WORKLOAD = {
+    "n_sparse": 25_000,
+    "zipf_exponent": 1.15,
+    "mem_capacity_params": 9_000,
+    "cache_lru_fraction": 0.32,
+    "batch_size": 768,
+    "minibatches_per_gpu": 1,
+    "warmup_rounds": 6,
+}
+
+#: BatchStats fields that intentionally differ between the bulk engine
+#: and its per-key oracles (pure observability counters).
+_ADMISSION_COUNTER_FIELDS = frozenset(
+    {
+        "cache_admission_runs",
+        "cache_collision_splits",
+        "cache_scalar_fallbacks",
+    }
+)
 
 
 # ----------------------------------------------------------------------
@@ -476,86 +505,92 @@ def _instrument_stages(cluster: HPSCluster) -> dict[str, float]:
     return wall
 
 
-def run_e2e_throughput(
-    spec: ModelSpec | None = None,
-    *,
-    n_rounds: int = 20,
-    batch_size: int = 256,
-    queue_capacity: int | tuple[int, ...] = 2,
-    seed: int = 0,
-    write_path: str | None = None,
+def _throughput_row(
+    stats, elapsed: float, wall: dict, n_rounds: int
 ) -> dict:
-    """End-to-end wall-clock throughput ledger (``BENCH_e2e.json``).
+    n_keys = int(sum(s.n_working_params for s in stats))
+    n_ex = int(sum(s.n_examples for s in stats))
+    return {
+        "wall_seconds": elapsed,
+        "rounds_per_s": n_rounds / elapsed if elapsed else 0.0,
+        "keys_per_s": n_keys / elapsed if elapsed else 0.0,
+        "examples_per_s": n_ex / elapsed if elapsed else 0.0,
+        "stage_seconds": dict(wall),
+        "scalar_fallbacks": int(sum(s.cache_scalar_fallbacks for s in stats)),
+        "collision_splits": int(
+            sum(s.cache_collision_splits for s in stats)
+        ),
+        "admission_runs": int(sum(s.cache_admission_runs for s in stats)),
+    }
 
-    Trains the functional small-cluster workload three ways on identical
-    data — lockstep on the pre-plan path (``use_plan=False``, the parity
-    oracle), lockstep with the :class:`~repro.plan.RoundPlan` threaded
-    through every tier, and pipelined with the plan — and measures *real*
-    wall-clock rounds/s, keys/s, examples/s, and per-stage seconds for
-    each.  Trained parameters must be bit-identical across all three
-    modes; ``speedup_planned_over_unplanned`` is the perf claim every
-    future PR is measured against.
 
-    With ``write_path``, the result is serialized as JSON (the committed
-    ``BENCH_e2e.json`` at the repo root is this file).
+def _sim_seconds_trace(stats) -> list[tuple]:
+    """Every simulated BatchStats field, minus the admission counters.
+
+    The per-key oracles differ from the bulk engine only in those
+    counters; everything the simulation *prices* must be bit-identical.
     """
-    spec = spec or functional_model()
+    import dataclasses
+
+    return [
+        tuple(
+            v
+            for k, v in dataclasses.asdict(s).items()
+            if k not in _ADMISSION_COUNTER_FIELDS
+        )
+        for s in stats
+    ]
+
+
+def _parameter_parity(reference: HPSCluster, others) -> bool:
+    probe = reference.generator.batch(10_000, 2048).unique_keys()
+    ref_emb = reference.lookup_embeddings(probe)
+    sparse_equal = all(
+        np.array_equal(ref_emb, c.lookup_embeddings(probe)) for c in others
+    )
+    dense_ref = reference.nodes[0].model.dense_state()
+    dense_equal = all(
+        np.array_equal(a, b)
+        for c in others
+        for a, b in zip(dense_ref, c.nodes[0].model.dense_state())
+    )
+    return bool(sparse_equal and dense_equal)
+
+
+def _default_scenario(
+    spec: ModelSpec,
+    *,
+    n_rounds: int,
+    batch_size: int,
+    queue_capacity,
+    seed: int,
+) -> dict:
+    """The original planned-vs-unplanned throughput comparison."""
     cfg = small_cluster_config(seed=seed)
 
     def build(use_plan: bool) -> HPSCluster:
         return HPSCluster(
-            spec,
-            cfg,
-            functional_batch_size=batch_size,
-            use_plan=use_plan,
+            spec, cfg, functional_batch_size=batch_size, use_plan=use_plan
         )
 
-    def measure_lockstep(cluster: HPSCluster) -> dict:
+    def measure(cluster: HPSCluster, pipelined: bool) -> dict:
         wall = _instrument_stages(cluster)
         t0 = time.perf_counter()
-        stats = cluster.train(n_rounds)
+        if pipelined:
+            stats = cluster.train_pipelined(
+                n_rounds, queue_capacity=queue_capacity
+            ).stats
+        else:
+            stats = cluster.train(n_rounds)
         elapsed = time.perf_counter() - t0
-        return _throughput_row(stats, elapsed, wall)
+        return _throughput_row(stats, elapsed, wall, n_rounds)
 
-    def measure_pipelined(cluster: HPSCluster) -> dict:
-        wall = _instrument_stages(cluster)
-        t0 = time.perf_counter()
-        run = cluster.train_pipelined(n_rounds, queue_capacity=queue_capacity)
-        elapsed = time.perf_counter() - t0
-        return _throughput_row(run.stats, elapsed, wall)
-
-    def _throughput_row(stats, elapsed: float, wall: dict) -> dict:
-        n_keys = int(sum(s.n_working_params for s in stats))
-        n_ex = int(sum(s.n_examples for s in stats))
-        return {
-            "wall_seconds": elapsed,
-            "rounds_per_s": n_rounds / elapsed if elapsed else 0.0,
-            "keys_per_s": n_keys / elapsed if elapsed else 0.0,
-            "examples_per_s": n_ex / elapsed if elapsed else 0.0,
-            "stage_seconds": dict(wall),
-        }
-
-    unplanned = build(False)
-    planned = build(True)
-    pipelined = build(True)
-    row_unplanned = measure_lockstep(unplanned)
-    row_planned = measure_lockstep(planned)
-    row_pipelined = measure_pipelined(pipelined)
-
-    probe = unplanned.generator.batch(10_000, 2048).unique_keys()
-    emb = [
-        c.lookup_embeddings(probe) for c in (unplanned, planned, pipelined)
-    ]
-    sparse_equal = all(np.array_equal(emb[0], e) for e in emb[1:])
-    dense_ref = unplanned.nodes[0].model.dense_state()
-    dense_equal = all(
-        np.array_equal(a, b)
-        for c in (planned, pipelined)
-        for a, b in zip(dense_ref, c.nodes[0].model.dense_state())
-    )
-
-    result = {
-        "schema": BENCH_E2E_SCHEMA,
+    unplanned, planned, pipelined = build(False), build(True), build(True)
+    row_unplanned = measure(unplanned, False)
+    row_planned = measure(planned, False)
+    row_pipelined = measure(pipelined, True)
+    return {
+        "name": "default",
         "workload": {
             "model": spec.name,
             "n_rounds": n_rounds,
@@ -575,7 +610,153 @@ def run_e2e_throughput(
             if row_unplanned["rounds_per_s"]
             else 0.0
         ),
-        "parameter_parity": bool(sparse_equal and dense_equal),
+        "parameter_parity": _parameter_parity(
+            unplanned, (planned, pipelined)
+        ),
+    }
+
+
+def _pressure_scenario(
+    *,
+    n_rounds: int,
+    queue_capacity,
+    seed: int,
+) -> dict:
+    """Memory-pressure e2e: the admission engine vs the per-key oracles.
+
+    Cache capacity sits far below the working set (``PRESSURE_WORKLOAD``)
+    so every steady-state round drives promotion/eviction collisions.
+    Four modes train on identical data from an identically warmed cache:
+    the full per-key replay (``force_scalar=True``, the seed parity
+    oracle), the pre-refactor plan-or-replay policy (``"legacy"``, the
+    pressure baseline the refactor is measured against), and the bulk
+    admission engine in lockstep and pipelined execution.  Parameters
+    *and* simulated seconds must be bit-identical across all four; the
+    bulk modes must report zero scalar fallbacks.
+    """
+    wl = PRESSURE_WORKLOAD
+    spec = functional_model(n_sparse=wl["n_sparse"])
+    cfg = small_cluster_config(
+        seed=seed,
+        mem_capacity_params=wl["mem_capacity_params"],
+        cache_lru_fraction=wl["cache_lru_fraction"],
+        minibatches_per_gpu=wl["minibatches_per_gpu"],
+    )
+    warmup = wl["warmup_rounds"]
+
+    def measure(force_scalar, pipelined: bool):
+        cluster = HPSCluster(
+            spec,
+            cfg,
+            functional_batch_size=wl["batch_size"],
+            zipf_exponent=wl["zipf_exponent"],
+        )
+        for node in cluster.nodes:
+            node.mem_ps.cache.force_scalar = force_scalar
+        cluster.train(warmup)  # identical warm cache in every mode
+        wall = _instrument_stages(cluster)
+        t0 = time.perf_counter()
+        if pipelined:
+            stats = cluster.train_pipelined(
+                n_rounds, queue_capacity=queue_capacity
+            ).stats
+        else:
+            stats = cluster.train(n_rounds)
+        elapsed = time.perf_counter() - t0
+        return cluster, stats, _throughput_row(stats, elapsed, wall, n_rounds)
+
+    oracle, oracle_stats, row_oracle = measure(True, False)
+    legacy, legacy_stats, row_legacy = measure("legacy", False)
+    planned, planned_stats, row_planned = measure(False, False)
+    pipelined, pipelined_stats, row_pipelined = measure(False, True)
+
+    oracle_trace = _sim_seconds_trace(oracle_stats)
+    seconds_parity = all(
+        _sim_seconds_trace(s) == oracle_trace
+        for s in (legacy_stats, planned_stats, pipelined_stats)
+    )
+    return {
+        "name": "pressure",
+        "workload": {
+            "model": spec.name,
+            "n_rounds": n_rounds,
+            "n_nodes": cfg.n_nodes,
+            "gpus_per_node": cfg.gpus_per_node,
+            "seed": seed,
+            **wl,
+        },
+        "rows": [
+            {"mode": "lockstep-scalar-oracle", **row_oracle},
+            {"mode": "lockstep-legacy", **row_legacy},
+            {"mode": "lockstep-planned", **row_planned},
+            {"mode": "pipelined-planned", **row_pipelined},
+        ],
+        "speedup_bulk_over_legacy": (
+            row_planned["rounds_per_s"] / row_legacy["rounds_per_s"]
+            if row_legacy["rounds_per_s"]
+            else 0.0
+        ),
+        "speedup_bulk_over_scalar": (
+            row_planned["rounds_per_s"] / row_oracle["rounds_per_s"]
+            if row_oracle["rounds_per_s"]
+            else 0.0
+        ),
+        "bulk_scalar_fallbacks": (
+            row_planned["scalar_fallbacks"] + row_pipelined["scalar_fallbacks"]
+        ),
+        "parameter_parity": _parameter_parity(
+            oracle, (legacy, planned, pipelined)
+        ),
+        "seconds_parity": bool(seconds_parity),
+    }
+
+
+def run_e2e_throughput(
+    spec: ModelSpec | None = None,
+    *,
+    n_rounds: int = 20,
+    batch_size: int = 256,
+    queue_capacity: int | tuple[int, ...] = 2,
+    seed: int = 0,
+    write_path: str | None = None,
+) -> dict:
+    """End-to-end wall-clock throughput ledger (``BENCH_e2e.json``).
+
+    Two scenarios, each training identical data across execution modes
+    and measuring *real* wall-clock rounds/s, keys/s, examples/s, and
+    per-stage seconds:
+
+    * **default** — the BatchPlan claim: lockstep on the pre-plan path
+      (``use_plan=False``, the parity oracle), lockstep planned, and
+      pipelined planned; ``speedup_planned_over_unplanned`` is the perf
+      claim every future PR is measured against.
+    * **pressure** — the admission-engine claim: cache capacity far
+      below the working set (``PRESSURE_WORKLOAD``), comparing the bulk
+      admission engine against the per-key replay oracle and the
+      pre-refactor plan-or-replay baseline; ``speedup_bulk_over_legacy``
+      is the pressure-regime perf claim, and ``bulk_scalar_fallbacks``
+      must read zero.
+
+    Trained parameters must be bit-identical across every mode of a
+    scenario (and simulated seconds across the pressure modes).  With
+    ``write_path``, the result is serialized as JSON (the committed
+    ``BENCH_e2e.json`` at the repo root is this file).
+    """
+    spec = spec or functional_model()
+    result = {
+        "schema": BENCH_E2E_SCHEMA,
+        "scenarios": [
+            _default_scenario(
+                spec,
+                n_rounds=n_rounds,
+                batch_size=batch_size,
+                queue_capacity=queue_capacity,
+                seed=seed,
+            ),
+            _pressure_scenario(
+                n_rounds=n_rounds, queue_capacity=queue_capacity, seed=seed
+            ),
+        ],
     }
     if write_path is not None:
         with open(write_path, "w") as fh:

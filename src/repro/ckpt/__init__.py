@@ -29,6 +29,7 @@ from repro.ckpt.format import (
     MANIFEST_NAME,
     CheckpointError,
     latest_checkpoint,
+    prune_checkpoints,
     read_manifest,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "MANIFEST_NAME",
     "RecoveryReport",
     "latest_checkpoint",
+    "prune_checkpoints",
     "read_manifest",
     "restore_cluster",
     "save_cluster",

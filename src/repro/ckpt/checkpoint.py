@@ -127,6 +127,19 @@ def save_cluster(cluster, directory: str) -> CheckpointStats:
             arrays[f"ssd_{key}"] = value
         arrays["hdfs_batches_read"] = np.int64(node.hdfs.batches_read)
         arrays["hdfs_bytes_read"] = np.int64(node.hdfs.bytes_read)
+        # Long-horizon cost accounting rides in the shard; the cost of
+        # *this* save lands after the snapshot (it depends on the shard
+        # bytes), exactly as a deployment would book it.
+        ledger_state = node.ledger.export_state()
+        arrays["ledger_categories"] = np.array(
+            ledger_state["categories"], dtype=np.str_
+        )
+        arrays["ledger_totals"] = np.array(
+            ledger_state["totals"], dtype=np.float64
+        )
+        arrays["ledger_counts"] = np.array(
+            ledger_state["counts"], dtype=np.int64
+        )
         name = node_shard_name(node.node_id)
         nbytes, digest = _write_shard(directory, name, arrays)
         shards[name] = digest
@@ -273,6 +286,15 @@ def restore_cluster(
         )
         node.hdfs.batches_read = int(arrays["hdfs_batches_read"])
         node.hdfs.bytes_read = int(arrays["hdfs_bytes_read"])
+        # Restore the cost history first, then charge the restore itself
+        # on top of it — accounting continues, it does not restart.
+        node.ledger.load_state(
+            {
+                "categories": arrays["ledger_categories"].tolist(),
+                "totals": arrays["ledger_totals"].tolist(),
+                "counts": arrays["ledger_counts"].tolist(),
+            }
+        )
         # Every node pulls its own shard plus the shared dense replica
         # and manifest back from the distributed FS.
         t = _hdfs_transfer_seconds(

@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 
 from repro.utils.io import atomic_write_bytes
 
@@ -33,13 +34,16 @@ __all__ = [
     "checkpoint_dir_name",
     "fingerprint",
     "latest_checkpoint",
+    "prune_checkpoints",
     "read_manifest",
     "sha256_file",
     "write_manifest",
 ]
 
 #: Bump when the manifest schema or shard layout changes incompatibly.
-FORMAT_VERSION = 1
+#: v2: node shards carry the per-node CostLedger totals/counts, so a
+#: restored run continues long-horizon cost accounting.
+FORMAT_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 DENSE_SHARD = "dense.npz"
@@ -128,6 +132,42 @@ def verify_shard(directory: str, name: str, expected_digest: str) -> str:
             f"(sha256 {digest[:12]}… != manifest {expected_digest[:12]}…)"
         )
     return path
+
+
+def prune_checkpoints(directory: str, keep_last: int) -> list[str]:
+    """Keep only the newest ``keep_last`` committed snapshots (GC).
+
+    Scans ``directory`` for :func:`checkpoint_dir_name` subdirectories
+    with a committed manifest, sorted by ``rounds_completed``, and
+    removes all but the newest ``keep_last``.  Deletion is crash-safe in
+    the same delete-manifest-first discipline every writer uses: the
+    commit record goes first (:func:`invalidate`), so an interrupted
+    prune leaves an *uncommitted* directory that every reader already
+    rejects — never a half-valid snapshot.  Uncommitted directories
+    (crash debris) are left untouched for inspection.  Returns the
+    removed paths, oldest first.
+    """
+    if keep_last < 1:
+        raise ValueError("keep_last must be >= 1")
+    if not os.path.isdir(directory):
+        return []
+    committed: list[tuple[int, str]] = []
+    for entry in sorted(os.listdir(directory)):
+        sub = os.path.join(directory, entry)
+        if not (entry.startswith(CHECKPOINT_DIR_PREFIX) and os.path.isdir(sub)):
+            continue
+        try:
+            manifest = read_manifest(sub)
+        except CheckpointError:
+            continue
+        committed.append((int(manifest["rounds_completed"]), sub))
+    committed.sort()
+    removed: list[str] = []
+    for _, sub in committed[: max(0, len(committed) - keep_last)]:
+        invalidate(sub)  # commit record first — readers reject from here on
+        shutil.rmtree(sub)
+        removed.append(sub)
+    return removed
 
 
 def latest_checkpoint(directory: str, upto_round: int | None = None) -> str | None:

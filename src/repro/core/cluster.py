@@ -102,6 +102,15 @@ class BatchStats:
     #: not the per-worker average — is what the GPU stage actually costs
     #: when workers are imbalanced.
     worker_critical_seconds: float = 0.0
+    #: MEM-cache admission accounting, summed over nodes: bulk runs the
+    #: admission plan applied, single-key collision splits it cut at the
+    #: eviction frontier, and whole-batch per-key replays.  The last is
+    #: the pressure-regime acceptance gate: it reads zero in both
+    #: execution modes unless the ``REPRO_CACHE_ORACLE`` parity oracle is
+    #: forcing the seed path.
+    cache_admission_runs: int = 0
+    cache_collision_splits: int = 0
+    cache_scalar_fallbacks: int = 0
 
     @property
     def bottleneck_seconds(self) -> float:
@@ -160,6 +169,7 @@ class RoundContext:
     # per-round accounting snapshots (taken by the first cache-touching
     # stage, so they bracket correctly even if reads are prefetched)
     cache_stats_before: list[tuple[int, int]] = field(default_factory=list)
+    admission_before: list[tuple[int, int, int]] = field(default_factory=list)
     compactions_before: int = 0
     ssd_before: list[float] = field(default_factory=list)
     # stage 4 output: the round's aggregated stats
@@ -333,6 +343,9 @@ class HPSCluster:
         ctx.cache_stats_before = [
             (n.mem_ps.cache.stats.hits, n.mem_ps.cache.stats.misses)
             for n in nodes
+        ]
+        ctx.admission_before = [
+            n.mem_ps._admission_snapshot() for n in nodes
         ]
         ctx.compactions_before = sum(
             n.ssd_ps.compactor.total_compactions for n in nodes
@@ -529,6 +542,11 @@ class HPSCluster:
         ssd_after = [
             n.ledger.total("ssd_read") + n.ledger.total("ssd_write") for n in nodes
         ]
+        adm_after = [n.mem_ps._admission_snapshot() for n in nodes]
+        adm_delta = [
+            tuple(a - b for a, b in zip(after, before))
+            for after, before in zip(adm_after, ctx.admission_before)
+        ]
         stats = BatchStats(
             round_index=ctx.round_index,
             read_seconds=ctx.read_seconds,
@@ -554,6 +572,9 @@ class HPSCluster:
             mean_loss=float(np.mean(losses)) if losses else float("nan"),
             compactions=sum(n.ssd_ps.compactor.total_compactions for n in nodes)
             - ctx.compactions_before,
+            cache_admission_runs=sum(d[0] for d in adm_delta),
+            cache_collision_splits=sum(d[1] for d in adm_delta),
+            cache_scalar_fallbacks=sum(d[2] for d in adm_delta),
         )
         ctx.stats = stats
         self.history.append(stats)

@@ -68,6 +68,13 @@ class Trainer:
     ``<checkpoint_dir>/round_<rounds_completed>``), so a killed run can
     resume via :meth:`HPSCluster.restore` from the newest committed
     snapshot and replay forward bit-identically.
+
+    ``checkpoint_keep_last=N`` is the retention policy: after each
+    successful commit the oldest committed snapshots beyond the newest
+    ``N`` are pruned atomically (manifest deleted first, so a crash
+    mid-prune can never leave a half-valid snapshot).  Pruning runs only
+    *after* the new snapshot commits — the newest restore point is never
+    at risk.
     """
 
     def __init__(
@@ -78,14 +85,18 @@ class Trainer:
         eval_every: int = 0,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
+        checkpoint_keep_last: int | None = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_keep_last is not None and checkpoint_keep_last < 1:
+            raise ValueError("checkpoint_keep_last must be >= 1")
         self.cluster = cluster
         self.eval_batch = eval_batch
         self.eval_every = eval_every
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep_last = checkpoint_keep_last
         self.history = TrainingHistory()
 
     def _maybe_checkpoint(self, round_in_run: int) -> None:
@@ -93,13 +104,17 @@ class Trainer:
             return
         if round_in_run % self.checkpoint_every:
             return
-        from repro.ckpt.format import checkpoint_dir_name
+        from repro.ckpt.format import checkpoint_dir_name, prune_checkpoints
 
         directory = os.path.join(
             self.checkpoint_dir,
             checkpoint_dir_name(self.cluster.rounds_completed),
         )
         self.history.checkpoints.append(self.cluster.save_checkpoint(directory))
+        if self.checkpoint_keep_last is not None:
+            # Only after the new snapshot committed: the retention window
+            # always contains the snapshot that just landed.
+            prune_checkpoints(self.checkpoint_dir, self.checkpoint_keep_last)
 
     def run(self, n_rounds: int) -> TrainingHistory:
         for i in range(n_rounds):

@@ -99,6 +99,36 @@ class CostLedger:
         self._totals.clear()
         self._counts.clear()
 
+    # -- checkpoint hooks ----------------------------------------------
+    def export_state(self) -> dict[str, list]:
+        """Snapshot for a checkpoint shard (plain lists, NumPy-free).
+
+        Carrying per-node totals in the node shards lets a restored run
+        continue long-horizon cost accounting instead of restarting at
+        zero — recovery itself then shows up as ``ckpt_read`` *on top of*
+        the history, the way a real deployment's books would.
+        """
+        cats = sorted(self._totals)
+        return {
+            "categories": cats,
+            "totals": [self._totals[c] for c in cats],
+            "counts": [self._counts[c] for c in cats],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild from an :meth:`export_state` snapshot (replaces all)."""
+        cats = [str(c) for c in state["categories"]]
+        totals = [float(t) for t in state["totals"]]
+        counts = [int(n) for n in state["counts"]]
+        if len(totals) != len(cats) or len(counts) != len(cats):
+            raise ValueError("ledger snapshot shape mismatch")
+        if any(t < 0 for t in totals) or any(n < 0 for n in counts):
+            raise ValueError("ledger snapshot holds negative accounting")
+        self.reset()
+        for cat, total, count in zip(cats, totals, counts):
+            self._totals[cat] = total
+            self._counts[cat] = count
+
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self._totals.items()))
 

@@ -15,10 +15,24 @@ resolve to slab rows through a vectorized open-addressing
 are **sequential-equivalent**: ``get_batch``/``put_batch`` produce the
 same eviction order, flush pairs, and statistics as the per-key loop the
 seed implementation ran (``repro.store.reference`` keeps that
-implementation as the parity oracle).  The rare interleavings a bulk
-plan cannot reproduce — duplicate keys in one batch, a batch key sitting
-inside the eviction range — are detected up front and routed through the
-exact per-key path.
+implementation as the parity oracle).
+
+Admission is **bulk-exact**: the interleavings a single dense plan
+cannot reproduce — a duplicate key re-entering the batch, a resident
+batch key sitting inside the eviction frontier, an LFU-resident key
+while the LRU overflows — no longer route the whole batch through the
+per-key replay.  Instead the batch is partitioned into an *admission
+plan*: a sequence of collision-free runs found with one vectorized
+prefix scan per run (eviction-frontier ranks vs. cumulative overflow,
+duplicate boundaries from one stable sort, LFU-residency × overflow),
+each run applied with the existing dense slab ops and the eviction
+frontier recomputed only at run boundaries.  Collision positions
+themselves become single-key runs applied with the exact scalar op, so
+the scalar work is O(runs), not O(keys).  The seed per-key replay
+survives only as a debug/parity oracle: set the ``REPRO_CACHE_ORACLE=1``
+environment variable (or a cache's ``force_scalar`` attribute) to route
+every batch op through it; ``scalar_fallbacks`` counts those replays and
+reads zero on the bulk engine.
 
 :class:`LRUCache` and :class:`LFUCache` are also usable standalone — the
 cache-policy ablation benchmark compares them against the combined policy.
@@ -26,6 +40,7 @@ cache-policy ablation benchmark compares them against the combined policy.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,10 +48,54 @@ import numpy as np
 from repro.store.slot_index import SlotIndex
 from repro.utils.keys import EMPTY_KEY, KEY_DTYPE, all_unique, as_keys, mix_hash
 
-__all__ = ["LRUCache", "LFUCache", "CombinedCache", "CacheStats"]
+__all__ = ["LRUCache", "LFUCache", "CombinedCache", "CacheStats", "ORACLE_ENV"]
 
 #: Order sentinel for free slots — sorts after every live tick/priority.
 _FAR = np.int64(2**62)
+
+#: Environment flag routing every batch op through the seed per-key
+#: replay (the parity oracle the admission engine is measured against).
+ORACLE_ENV = "REPRO_CACHE_ORACLE"
+
+
+def _prev_occurrence(keys: np.ndarray) -> np.ndarray | None:
+    """``prev[i]`` = index of the previous occurrence of ``keys[i]``, or -1.
+
+    One stable argsort: equal keys stay in batch order, so each sorted
+    neighbor pair of equal keys is a (previous, next) occurrence pair.
+    The admission planner cuts a run wherever ``prev[i] >= run_start`` —
+    a duplicate re-entering the current run.  Returns None when the keys
+    are strictly increasing (sorted working sets, the planned hot path),
+    so duplicate-free batches pay an O(n) scan, not an argsort.
+    """
+    if keys.size <= 1 or bool(np.all(keys[1:] > keys[:-1])):
+        return None
+    prev = np.full(keys.size, -1, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    same = np.flatnonzero(sk[1:] == sk[:-1]) + 1
+    prev[order[same]] = order[same - 1]
+    return prev
+
+
+def _run_cut(ok: np.ndarray) -> int:
+    """Length of the leading True prefix of a monotone validity mask."""
+    if ok.all():
+        return int(ok.size)
+    return int(np.argmax(~ok))
+
+
+def _dup_bound(prev_dup: np.ndarray | None, start: int, n: int) -> int:
+    """First position at/after ``start`` where a duplicate re-enters.
+
+    A run can never cross it, so every per-run remainder slice stops
+    here — duplicate-heavy batches cost one bounded probe per run
+    instead of re-probing the whole tail (O(n·runs) → O(n) probes).
+    """
+    if prev_dup is None:
+        return n
+    cuts = np.flatnonzero(prev_dup[start:] >= start)
+    return start + int(cuts[0]) if cuts.size else n
 
 _PINNED_MSG = (
     "cache over capacity with all residents pinned — the pinned "
@@ -46,10 +105,18 @@ _PINNED_MSG = (
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters (drives the Fig. 4(c) reproduction)."""
+    """Hit/miss counters (drives the Fig. 4(c) reproduction) plus the
+    admission engine's accounting: ``admission_runs`` bulk runs applied,
+    ``collision_splits`` single-key runs forced by a collision with the
+    eviction frontier, and ``scalar_fallbacks`` whole-batch per-key
+    replays — zero on the bulk engine, nonzero only under the
+    :data:`ORACLE_ENV` parity oracle."""
 
     hits: int = 0
     misses: int = 0
+    admission_runs: int = 0
+    collision_splits: int = 0
+    scalar_fallbacks: int = 0
 
     @property
     def accesses(self) -> int:
@@ -62,6 +129,9 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.admission_runs = 0
+        self.collision_splits = 0
+        self.scalar_fallbacks = 0
 
 
 def _empty_pairs(dim: int) -> tuple[np.ndarray, np.ndarray]:
@@ -97,6 +167,31 @@ class _SlabCache:
         self._free = np.arange(capacity - 1, -1, -1, dtype=np.int64)
         self._n_free = capacity
         self._now = 0
+        #: None → follow the :data:`ORACLE_ENV` environment flag; True
+        #: forces the seed per-key replay for every batch op (parity
+        #: oracle); ``"legacy"`` emulates the pre-admission-plan policy
+        #: (bulk only when one run covers the whole batch, else a
+        #: whole-batch per-key replay — the pressure-regime baseline the
+        #: e2e ledger measures the refactor against); False forces the
+        #: bulk admission engine.
+        self.force_scalar: bool | str | None = None
+        #: standalone-tier admission accounting (the combined policy
+        #: tracks the same three counters on its :class:`CacheStats`).
+        self.admission_runs = 0
+        self.collision_splits = 0
+        self.scalar_fallbacks = 0
+
+    def _admission_mode(self) -> str:
+        """``"bulk"`` | ``"scalar"`` | ``"legacy"`` (see ``force_scalar``)."""
+        mode = self.force_scalar
+        if mode is None:
+            env = os.environ.get(ORACLE_ENV, "")
+            return "scalar" if env == "1" else ("legacy" if env == "legacy" else "bulk")
+        if mode is True:
+            return "scalar"
+        if mode is False:
+            return "bulk"
+        return str(mode)
 
     def _bind_dim(self, dim: int) -> None:
         if dim <= 0:
@@ -293,9 +388,16 @@ class LRUCache(_SlabCache):
         self._remove_slots(slots)
         return evicted
 
-    def _select_evictions(self, n: int) -> np.ndarray:
-        """Up to ``n`` unpinned resident slots, oldest tick first."""
-        order = self._eviction_order_key()
+    def _select_evictions(
+        self, n: int, order: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Up to ``n`` unpinned resident slots, oldest tick first.
+
+        ``order`` lets a caller that already materialized
+        :meth:`_eviction_order_key` avoid a second O(capacity) scan.
+        """
+        if order is None:
+            order = self._eviction_order_key()
         n = min(n, order.size)
         cand = np.argpartition(order, n - 1)[:n] if n < order.size else (
             np.arange(order.size)
@@ -349,42 +451,165 @@ class LRUCache(_SlabCache):
         return values, found
 
     def put_batch(
-        self, keys: np.ndarray, values: np.ndarray, *, pin: bool = False
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        pin: bool = False,
+        assume_unique: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Insert/overwrite many keys; returns evicted ``(keys, values)``.
 
         Sequential-equivalent to per-key :meth:`put` calls in batch
-        order; batches the bulk plan cannot reproduce exactly fall back
-        to that loop.
+        order.  The batch is applied as an admission plan: collision-free
+        runs go through the dense bulk path, positions colliding with the
+        eviction frontier (or re-entering as duplicates) become
+        single-key runs applied with the exact scalar :meth:`put`.
+        ``assume_unique=True`` skips the duplicate-boundary pass for
+        callers whose keys are unique by construction (the BatchPlan).
         """
         keys = as_keys(keys)
         vals = self._coerce_values(keys, values)
         if keys.size == 0:
             return _empty_pairs(self._dim_or_zero())
-        hashes = mix_hash(keys)
-        rows, resident, hints = self._index.locate(keys, hashes)
-        plan = self._plan_put(keys, vals, pin, located=(rows, resident))
-        if plan is None:
+        mode = self._admission_mode()
+        if mode == "scalar":
+            self.scalar_fallbacks += 1
             pairs = []
             for i in range(keys.size):
                 pairs.extend(self.put(int(keys[i]), vals[i], pin=pin))
             return _as_pairs(pairs, self.value_dim)
-        ek, ev, _, _, _ = self._apply_put(plan, hashes, hints)
-        return ek, ev
+        prev_dup = None if assume_unique else _prev_occurrence(keys)
+        hashes = mix_hash(keys)
+        ek_parts: list[np.ndarray] = []
+        ev_parts: list[np.ndarray] = []
+        s, n = 0, keys.size
+        while s < n:
+            bound = _dup_bound(prev_dup, s, n)
+            rem = keys[s:bound]
+            h = hashes[s:bound]
+            rows, resident, hints = self._index.locate(rem, h)
+            run, order = self._admission_run_length(
+                inserts=~resident,
+                res_slots=np.where(resident, rows, -1),
+                blocked=None,
+                allow_spill=True,
+            )
+            if mode == "legacy" and (run < n or bound < n):
+                # Pre-refactor plan-or-replay: any cut → per-key replay.
+                self.scalar_fallbacks += 1
+                pairs = []
+                for i in range(n):
+                    pairs.extend(self.put(int(keys[i]), vals[i], pin=pin))
+                return _as_pairs(pairs, self.value_dim)
+            if run == 0:
+                self.collision_splits += 1
+                pairs = self.put(int(keys[s]), vals[s], pin=pin)
+                if pairs:
+                    pk, pv = _as_pairs(pairs, self.value_dim)
+                    ek_parts.append(pk)
+                    ev_parts.append(pv)
+                s += 1
+                continue
+            e = s + run
+            plan = self._plan_put(
+                rem[:run],
+                vals[s:e],
+                pin,
+                located=(rows[:run], resident[:run]),
+                assume_unique=True,
+                order=order,
+            )
+            assert plan is not None  # guaranteed by the run conditions
+            ek, ev, _, _, _ = self._apply_put(plan, h[:run], hints[:run])
+            if ek.size:
+                ek_parts.append(ek)
+                ev_parts.append(ev)
+            self.admission_runs += 1
+            s = e
+        if not ek_parts:
+            return _empty_pairs(self.value_dim)
+        return (
+            np.concatenate(ek_parts).astype(KEY_DTYPE),
+            np.concatenate(ev_parts, axis=0),
+        )
 
     # -- bulk planning (shared with CombinedCache) ----------------------
+    def _admission_run_length(
+        self,
+        *,
+        inserts: np.ndarray,
+        res_slots: np.ndarray,
+        blocked: np.ndarray | None,
+        allow_spill: bool,
+    ) -> tuple[int, np.ndarray | None]:
+        """Longest bulk-exact prefix of the remaining batch (may be 0).
+
+        The remainder is already duplicate-bounded (:func:`_dup_bound`),
+        and the remaining conditions are individually monotone over
+        prefixes, so their conjunction's leading True prefix is the
+        maximal exact run:
+
+        * ``inserts`` marks positions allocating a fresh LRU row; their
+          cumulative count beyond the free rows is the run's eviction
+          demand ``E``.
+        * ``res_slots`` carries the current slot of still-resident
+          positions (-1 otherwise).  A resident slot whose rank in the
+          eviction order falls below ``E`` would sequentially be evicted
+          (or shift the victim set) before its own turn — a collision.
+        * ``blocked`` positions are illegal in any run that evicts
+          (LFU-resident keys of a combined put: their pop interleaves
+          with the demotion stream).
+        * without ``allow_spill``, ``E`` may not exceed the unpinned
+          resident supply (the combined get's promotions never spill).
+
+        Returns ``(run_length, eviction_order_key | None)`` — the order
+        array is handed back so the run's apply step reuses it instead
+        of rescanning the slab (None when the remainder evicts nothing).
+        """
+        free0 = np.int64(self.capacity - self.size)
+        E = np.cumsum(inserts.astype(np.int64)) - free0
+        np.maximum(E, 0, out=E)
+        e_max = int(E[-1])
+        if e_max == 0:
+            # Eviction-free remainder: nothing can collide with a
+            # frontier that never forms.
+            return int(inserts.size), None
+        # Only the ``e_max`` oldest unpinned residents can ever be
+        # victims; rank just those (argpartition, not a full sort).
+        order = self._eviction_order_key()
+        frontier = self._select_evictions(e_max, order)
+        rank = np.full(self.capacity, _FAR, dtype=np.int64)
+        rank[frontier] = np.arange(frontier.size, dtype=np.int64)
+        pos_rank = np.where(res_slots >= 0, rank[np.maximum(res_slots, 0)], _FAR)
+        ok = np.minimum.accumulate(pos_rank) >= E
+        if not allow_spill:
+            ok &= E <= int((order < _FAR).sum())
+        if blocked is not None:
+            ok &= ~(np.logical_or.accumulate(blocked) & (E > 0))
+        return _run_cut(ok), order
+
     def _plan_put(
-        self, keys: np.ndarray, vals: np.ndarray, pin: bool, located=None
+        self,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        pin: bool,
+        located=None,
+        *,
+        assume_unique: bool = False,
+        order: np.ndarray | None = None,
     ):
-        """Plan a sequential-equivalent bulk insert, or None → fall back.
+        """Plan a sequential-equivalent bulk insert, or None → not exact.
 
         The plan is exact when keys are unique and no already-resident
         batch key sits inside the eviction range (sequentially it would
         be evicted with its *old* value before its own turn refreshed it).
         ``located`` short-circuits the index lookup when the caller
-        already holds ``(slots, resident)``.
+        already holds ``(slots, resident)``; the admission planner
+        guarantees both conditions per run, so its calls never get None,
+        and hands in the ``order`` array it already materialized.
         """
-        if not all_unique(keys):
+        if not assume_unique and not all_unique(keys):
             return None
         slots, resident = located if located is not None else self._index.get(keys)
         n_new = int((~resident).sum())
@@ -392,7 +617,7 @@ class LRUCache(_SlabCache):
         old_sel = np.empty(0, dtype=np.int64)
         spill = np.empty(0, dtype=np.int64)
         if overflow:
-            old_sel = self._select_evictions(overflow)
+            old_sel = self._select_evictions(overflow, order)
             if np.isin(old_sel, slots[resident]).any():
                 return None
             if old_sel.size < overflow:
@@ -565,13 +790,19 @@ class LFUCache(_SlabCache):
         return keys.tolist()
 
     # -- batched API ----------------------------------------------------
-    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def get_batch(
+        self, keys: np.ndarray, *, assume_unique: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Values + found mask; bumps the frequency of every hit."""
         keys = as_keys(keys)
         values = np.zeros((keys.size, self._dim_or_zero()), dtype=np.float32)
         if keys.size == 0:
             return values, np.zeros(0, dtype=bool)
-        if not all_unique(keys):
+        prev_dup = None if assume_unique else _prev_occurrence(keys)
+        has_dup = prev_dup is not None and bool((prev_dup >= 0).any())
+        mode = self._admission_mode()
+        if mode == "scalar" or (mode == "legacy" and has_dup):
+            self.scalar_fallbacks += 1
             found = np.zeros(keys.size, dtype=bool)
             for i in range(keys.size):
                 v = self.get(int(keys[i]))
@@ -579,34 +810,114 @@ class LFUCache(_SlabCache):
                     values[i] = v
                     found[i] = True
             return values, found
-        slots, found = self._index.get(keys)
-        hit = slots[found]
-        if hit.size:
-            values[found] = self._values[hit]
-            self._freq[hit] += 1
-            self._tick[hit] = self._ticks(hit.size)
+        found = np.zeros(keys.size, dtype=bool)
+        s, n = 0, keys.size
+        while s < n:
+            # A run always holds ≥ 1 key: prev_dup[s] < s by definition.
+            e = _dup_bound(prev_dup, s, n)
+            slots, ok = self._index.get(keys[s:e])
+            hit = slots[ok]
+            if hit.size:
+                values[s:e][ok] = self._values[hit]
+                self._freq[hit] += 1
+                self._tick[hit] = self._ticks(hit.size)
+            found[s:e] = ok
+            self.admission_runs += 1
+            s = e
         return values, found
 
     def put_batch(
-        self, keys: np.ndarray, values: np.ndarray, *, freq: int = 1
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        freq: int = 1,
+        assume_unique: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Insert many keys; returns evicted ``(keys, values)``.
 
-        Fresh unique keys go through the exact bulk eviction plan;
-        overwrites of resident keys fall back to per-key :meth:`put`.
+        Admission-plan semantics: runs of fresh keys go through the exact
+        bulk eviction plan (:meth:`bulk_insert`); runs containing
+        resident overwrites are applied densely while they demand no
+        eviction; a resident overwrite colliding with an eviction storm
+        becomes a single-key scalar run.
         """
         keys = as_keys(keys)
         vals = self._coerce_values(keys, values)
         if keys.size == 0:
             return _empty_pairs(self._dim_or_zero())
-        _, resident = self._index.get(keys)
-        if resident.any() or not all_unique(keys):
+        prev_dup = None if assume_unique else _prev_occurrence(keys)
+        mode = self._admission_mode()
+        if mode == "scalar" or (
+            mode == "legacy"
+            and (
+                bool(self._index.get(keys)[1].any())
+                or (prev_dup is not None and bool((prev_dup >= 0).any()))
+            )
+        ):
+            # "legacy" replays whenever the pre-refactor policy would
+            # have: any resident overwrite or duplicate in the batch.
+            self.scalar_fallbacks += 1
             pairs = []
             for i in range(keys.size):
                 pairs.extend(self.put(int(keys[i]), vals[i], freq=freq))
             return _as_pairs(pairs, self.value_dim)
-        freqs = np.full(keys.size, freq, dtype=np.int64)
-        return self.bulk_insert(keys, vals, freqs)
+        ek_parts: list[np.ndarray] = []
+        ev_parts: list[np.ndarray] = []
+        s, n = 0, keys.size
+        while s < n:
+            bound = _dup_bound(prev_dup, s, n)
+            rem = keys[s:bound]
+            slots, resident = self._index.get(rem)
+            free0 = np.int64(self.capacity - self.size)
+            E = np.cumsum((~resident).astype(np.int64)) - free0
+            np.maximum(E, 0, out=E)
+            # Resident overwrites bump mid-run state the greedy eviction
+            # plan cannot see; they are only exact in eviction-free runs.
+            run = _run_cut(~(np.logical_or.accumulate(resident) & (E > 0)))
+            if run == 0:
+                self.collision_splits += 1
+                pairs = self.put(int(keys[s]), vals[s], freq=freq)
+                if pairs:
+                    pk, pv = _as_pairs(pairs, self.value_dim)
+                    ek_parts.append(pk)
+                    ev_parts.append(pv)
+                s += 1
+                continue
+            e = s + run
+            sub_res = resident[:run]
+            if sub_res.any():
+                # Eviction-free mixed run: dense overwrite + bump of the
+                # residents, fresh rows for the rest, ticks in batch order.
+                rs = slots[:run][sub_res]
+                sub_vals = vals[s:e]
+                self._values[rs] = sub_vals[sub_res]
+                self._freq[rs] += 1
+                new = ~sub_res
+                rows = self._alloc(int(new.sum()))
+                ticks = self._ticks(run)
+                self._tick[rs] = ticks[sub_res]
+                if rows.size:
+                    new_keys = rem[:run][new]
+                    self._keys[rows] = new_keys
+                    self._values[rows] = sub_vals[new]
+                    self._freq[rows] = freq
+                    self._tick[rows] = ticks[new]
+                    self._index.set(new_keys, rows)
+            else:
+                freqs = np.full(run, freq, dtype=np.int64)
+                fk, fv = self.bulk_insert(rem[:run], vals[s:e], freqs)
+                if fk.size:
+                    ek_parts.append(fk)
+                    ev_parts.append(fv)
+            self.admission_runs += 1
+            s = e
+        if not ek_parts:
+            return _empty_pairs(self.value_dim)
+        return (
+            np.concatenate(ek_parts).astype(KEY_DTYPE),
+            np.concatenate(ev_parts, axis=0),
+        )
 
     def bulk_insert(
         self, keys: np.ndarray, vals: np.ndarray, freqs: np.ndarray
@@ -855,53 +1166,123 @@ class CombinedCache:
         return self._put_single(key, value, count, pin)
 
     # ------------------------------------------------------------------
-    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    @property
+    def force_scalar(self) -> bool | str | None:
+        """Per-instance oracle override (None → :data:`ORACLE_ENV`;
+        True → per-key replay, ``"legacy"`` → plan-or-replay)."""
+        return self.lru.force_scalar
+
+    @force_scalar.setter
+    def force_scalar(self, value: bool | str | None) -> None:
+        self.lru.force_scalar = value
+        self.lfu.force_scalar = value
+
+    def _admission_mode(self) -> str:
+        return self.lru._admission_mode()
+
+    def get_batch(
+        self, keys: np.ndarray, *, assume_unique: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized batch lookup, sequential-equivalent to :meth:`get`.
 
         Returns ``(values, hit_mask)``; missed rows are zero-filled.
+        The batch is applied as an admission plan: promotion storms that
+        would push an LRU-resident batch key into the eviction frontier
+        cut the batch into runs instead of degrading to the per-key
+        replay; the colliding position itself is applied with the exact
+        scalar :meth:`get`.
         """
         keys = as_keys(keys)
         values = np.zeros((keys.size, self.value_dim), dtype=np.float32)
         hit = np.zeros(keys.size, dtype=bool)
         if keys.size == 0:
             return values, hit
-        lru, lfu = self.lru, self.lfu
-        hashes = mix_hash(keys)
-        plan = None
-        if all_unique(keys):
-            lru_slots, in_lru, lru_hints = lru._index.locate(keys, hashes)
-            lfu_slots, in_lfu = lfu._index.get(keys, hashes)
-            n_promote = int(in_lfu.sum())
-            overflow = max(0, lru.size + n_promote - lru.capacity)
-            old_sel = np.empty(0, dtype=np.int64)
-            if overflow:
-                old_sel = lru._select_evictions(overflow)
-                ok = old_sel.size == overflow and not np.isin(
-                    old_sel, lru_slots[in_lru]
-                ).any()
-            else:
-                ok = True
-            if ok:
-                plan = (lru_slots, in_lru, lfu_slots, in_lfu, old_sel, lru_hints)
-        if plan is None:
-            # Duplicate keys or a batch key inside the eviction range:
-            # replay per key (exact by construction).
+        mode = self._admission_mode()
+        if mode == "scalar":
+            self.stats.scalar_fallbacks += 1
             for i in range(keys.size):
                 v = self.get(int(keys[i]))
                 if v is not None:
                     values[i] = v
                     hit[i] = True
             return values, hit
-        lru_slots, in_lru, lfu_slots, in_lfu, old_sel, lru_hints = plan
-        hit = in_lru | in_lfu
-        self.stats.hits += int(hit.sum())
-        self.stats.misses += int((~hit).sum())
+        lru, lfu = self.lru, self.lfu
+        prev_dup = None if assume_unique else _prev_occurrence(keys)
+        hashes = mix_hash(keys)
+        s, n = 0, keys.size
+        while s < n:
+            bound = _dup_bound(prev_dup, s, n)
+            rem = keys[s:bound]
+            h = hashes[s:bound]
+            lru_slots, in_lru, lru_hints = lru._index.locate(rem, h)
+            lfu_slots, in_lfu = lfu._index.get(rem, h)
+            run, order = lru._admission_run_length(
+                inserts=in_lfu,
+                res_slots=np.where(in_lru, lru_slots, -1),
+                blocked=None,
+                allow_spill=False,
+            )
+            if mode == "legacy" and (run < n or bound < n):
+                # Pre-refactor plan-or-replay: any cut → per-key replay.
+                self.stats.scalar_fallbacks += 1
+                for i in range(n):
+                    v = self.get(int(keys[i]))
+                    if v is not None:
+                        values[i] = v
+                        hit[i] = True
+                return values, hit
+            if run == 0:
+                self.stats.collision_splits += 1
+                v = self.get(int(keys[s]))
+                if v is not None:
+                    values[s] = v
+                    hit[s] = True
+                s += 1
+                continue
+            e = s + run
+            self._get_run(
+                rem[:run],
+                values[s:e],
+                hit[s:e],
+                lru_slots[:run],
+                in_lru[:run],
+                lfu_slots[:run],
+                in_lfu[:run],
+                lru_hints[:run],
+                h[:run],
+                order,
+            )
+            self.stats.admission_runs += 1
+            s = e
+        return values, hit
+
+    def _get_run(
+        self, keys, values, hit, lru_slots, in_lru, lfu_slots, in_lfu,
+        lru_hints, hashes, order=None,
+    ) -> None:
+        """Apply one collision-free lookup run (dense slab ops only).
+
+        ``values``/``hit`` are views into the caller's output arrays;
+        ``order`` is the eviction-order array the admission planner
+        already materialized (reused, not rescanned).
+        """
+        lru, lfu = self.lru, self.lfu
+        overflow = max(0, lru.size + int(in_lfu.sum()) - lru.capacity)
+        old_sel = (
+            lru._select_evictions(overflow, order)
+            if overflow
+            else np.empty(0, dtype=np.int64)
+        )
+        hit_run = in_lru | in_lfu
+        hit[...] = hit_run
+        self.stats.hits += int(hit_run.sum())
+        self.stats.misses += int((~hit_run).sum())
         values[in_lru] = lru._values[lru_slots[in_lru]]
         values[in_lfu] = lfu._values[lfu_slots[in_lfu]]
         # Every hit consumes one recency tick, in batch order.
-        ticks = lru._ticks(int(hit.sum()))
+        ticks = lru._ticks(int(hit_run.sum()))
         tick_of = np.empty(keys.size, dtype=np.int64)
-        tick_of[hit] = ticks
+        tick_of[hit_run] = ticks
         res = lru_slots[in_lru]
         lru._tick[res] = tick_of[in_lru]
         self._counts[res] += 1
@@ -927,17 +1308,23 @@ class CombinedCache:
                 # needed one, so the demotions can never flush.
                 fk, _ = self.lfu.bulk_insert(ekeys, evals, efreqs)
                 assert fk.size == 0
-        return values, hit
 
     def put_batch(
-        self, keys: np.ndarray, values: np.ndarray, *, pin: bool = False
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        pin: bool = False,
+        assume_unique: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Insert many values; returns (flush_keys, flush_values).
 
         Sequential-equivalent to per-key :meth:`put` calls in batch
-        order; batches whose interleavings a bulk plan cannot reproduce
+        order.  Interleavings a single dense plan cannot reproduce
         (duplicate keys, LFU-resident batch keys while the LRU overflows,
-        batch keys inside the eviction range) fall back to that loop.
+        batch keys inside the eviction frontier) cut the batch into
+        admission runs; the colliding position is applied with the exact
+        scalar :meth:`put` and the frontier recomputed for the next run.
         """
         keys = as_keys(keys)
         vals = np.asarray(values, dtype=np.float32)
@@ -945,22 +1332,89 @@ class CombinedCache:
             raise ValueError("values shape mismatch")
         if keys.size == 0:
             return _empty_pairs(self.value_dim)
-        lru, lfu = self.lru, self.lfu
-        hashes = mix_hash(keys)
-        lfu_slots, in_lfu = lfu._index.get(keys, hashes)
-        lru_rows, lru_res, lru_hints = lru._index.locate(keys, hashes)
-        located = (lru_rows, lru_res)
-        plan = None
-        overflows = (
-            lru.size + int((~located[1]).sum()) > lru.capacity
-        )
-        if not (in_lfu.any() and overflows):
-            plan = lru._plan_put(keys, vals, pin, located=located)
-        if plan is None:
+        mode = self._admission_mode()
+        if mode == "scalar":
+            self.stats.scalar_fallbacks += 1
             flushed = []
             for i in range(keys.size):
                 flushed.extend(self.put(int(keys[i]), vals[i], pin=pin))
             return _as_pairs(flushed, self.value_dim)
+        lru, lfu = self.lru, self.lfu
+        prev_dup = None if assume_unique else _prev_occurrence(keys)
+        hashes = mix_hash(keys)
+        fk_parts: list[np.ndarray] = []
+        fv_parts: list[np.ndarray] = []
+        s, n = 0, keys.size
+        while s < n:
+            bound = _dup_bound(prev_dup, s, n)
+            rem = keys[s:bound]
+            h = hashes[s:bound]
+            lfu_slots, in_lfu = lfu._index.get(rem, h)
+            lru_rows, lru_res, lru_hints = lru._index.locate(rem, h)
+            run, order = lru._admission_run_length(
+                inserts=~lru_res,
+                res_slots=np.where(lru_res, lru_rows, -1),
+                blocked=in_lfu,
+                allow_spill=True,
+            )
+            if mode == "legacy" and (run < n or bound < n):
+                # Pre-refactor plan-or-replay: any cut → per-key replay.
+                self.stats.scalar_fallbacks += 1
+                flushed = []
+                for i in range(n):
+                    flushed.extend(self.put(int(keys[i]), vals[i], pin=pin))
+                return _as_pairs(flushed, self.value_dim)
+            if run == 0:
+                self.stats.collision_splits += 1
+                flushed = self.put(int(keys[s]), vals[s], pin=pin)
+                if flushed:
+                    pk, pv = _as_pairs(flushed, self.value_dim)
+                    fk_parts.append(pk)
+                    fv_parts.append(pv)
+                s += 1
+                continue
+            e = s + run
+            fk, fv = self._put_run(
+                rem[:run],
+                vals[s:e],
+                pin,
+                lfu_slots[:run],
+                in_lfu[:run],
+                (lru_rows[:run], lru_res[:run]),
+                lru_hints[:run],
+                h[:run],
+                order,
+            )
+            if fk.size:
+                fk_parts.append(fk)
+                fv_parts.append(fv)
+            self.stats.admission_runs += 1
+            s = e
+        if not fk_parts:
+            return _empty_pairs(self.value_dim)
+        return (
+            np.concatenate(fk_parts).astype(KEY_DTYPE),
+            np.concatenate(fv_parts, axis=0),
+        )
+
+    def _put_run(
+        self,
+        keys,
+        vals,
+        pin,
+        lfu_slots,
+        in_lfu,
+        located,
+        lru_hints,
+        hashes,
+        order=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply one collision-free insert run; returns its flush pairs."""
+        lru, lfu = self.lru, self.lfu
+        plan = lru._plan_put(
+            keys, vals, pin, located=located, assume_unique=True, order=order
+        )
+        assert plan is not None  # guaranteed by the run conditions
         _, _, _, lru_slots, resident, old_sel, _ = plan
         # Access counts, exactly as the per-key loop would assign them.
         counts = np.ones(keys.size, dtype=np.int64)
@@ -1163,8 +1617,10 @@ class CombinedCache:
             raise ValueError(
                 "cache snapshot does not fit this cache's tier capacities"
             )
+        oracle = self.force_scalar
         self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim)
         self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim)
+        self.force_scalar = oracle
         self._counts = np.zeros(self.lru.capacity, dtype=np.int64)
         self._pending_flush = []
         # Oldest-first re-insertion assigns fresh ascending ticks, which
@@ -1197,7 +1653,9 @@ class CombinedCache:
                 [self.lru._values[lru_rows], self.lfu._values[lfu_rows]],
                 axis=0,
             ).copy()
+        oracle = self.force_scalar
         self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim)
         self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim)
+        self.force_scalar = oracle
         self._counts = np.zeros(self.lru.capacity, dtype=np.int64)
         return keys, values

@@ -110,12 +110,35 @@ class MemPS:
         return self.owner_of(keys) == self.node_id
 
     # ------------------------------------------------------------------
+    def _admission_snapshot(self) -> tuple[int, int, int]:
+        """(runs, collision splits, scalar fallbacks) counter snapshot."""
+        stats = getattr(self.cache, "stats", None)
+        if stats is None or not hasattr(stats, "admission_runs"):
+            return (0, 0, 0)
+        return (
+            stats.admission_runs,
+            stats.collision_splits,
+            stats.scalar_fallbacks,
+        )
+
+    def _admission_delta(self, before: tuple[int, int, int]):
+        from repro.plan import AdmissionRecord
+
+        after = self._admission_snapshot()
+        return AdmissionRecord(
+            n_runs=after[0] - before[0],
+            n_collision_splits=after[1] - before[1],
+            n_scalar_fallbacks=after[2] - before[2],
+        )
+
+    # ------------------------------------------------------------------
     def fetch_local(
         self,
         keys: np.ndarray,
         *,
         pin: bool = True,
         out_masks: dict | None = None,
+        assume_unique: bool = False,
     ) -> tuple[np.ndarray, float, int, int, int]:
         """Serve locally-owned ``keys`` from cache → SSD → fresh-init.
 
@@ -125,10 +148,12 @@ class MemPS:
         ``out_masks``, records the hit/miss split for the caller's
         :class:`~repro.plan.NodePlan`: ``out_masks["hit"]`` is the cache
         hit mask over ``keys`` and ``out_masks["ssd_found"]`` marks which
-        of the misses the SSD resolved.
+        of the misses the SSD resolved.  ``assume_unique=True`` is the
+        plan's pre-split: keys known unique by construction skip the
+        cache admission planner's duplicate-boundary pass.
         """
         keys = as_keys(keys)
-        values, hit = self.cache.get_batch(keys)
+        values, hit = self.cache.get_batch(keys, assume_unique=assume_unique)
         if out_masks is not None:
             out_masks["hit"] = hit
             out_masks["ssd_found"] = np.zeros(keys.size, dtype=bool)
@@ -162,7 +187,9 @@ class MemPS:
                     miss_keys[fresh_idx], seed=self._init_seed
                 )
             values[miss_idx] = vals
-            flush_k, flush_v = self.cache.put_batch(miss_keys, vals, pin=pin)
+            flush_k, flush_v = self.cache.put_batch(
+                miss_keys, vals, pin=pin, assume_unique=assume_unique
+            )
             if flush_k.size:
                 seconds += self.ssd_ps.dump(flush_k, flush_v).total_seconds
         return values, seconds, int(hit.sum()), n_ssd, n_fresh
@@ -179,7 +206,9 @@ class MemPS:
         keys = as_keys(keys)
         if not pre_owned and not np.all(self.owns(keys)):
             raise ValueError("serve_remote called with keys this node does not own")
-        values, seconds, _, _, _ = self.fetch_local(keys, pin=True)
+        values, seconds, _, _, _ = self.fetch_local(
+            keys, pin=True, assume_unique=pre_owned
+        )
         self._served_keys.append(keys)
         return values, seconds
 
@@ -210,18 +239,23 @@ class MemPS:
         values = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
 
         masks: dict | None = {} if plan is not None else None
+        adm_before = self._admission_snapshot()
         vals, t_local, n_hits, n_ssd, n_fresh = self.fetch_local(
-            keys[local_idx], out_masks=masks
+            keys[local_idx], out_masks=masks, assume_unique=plan is not None
         )
         values[local_idx] = vals
         if plan is not None:
             # Resolved once here; the write-back consumes these rows
             # instead of re-probing the SlotIndex (every local working key
-            # is now a pinned LRU resident).
+            # is now a pinned LRU resident).  The admission record keeps
+            # how the cache split this prepare into bulk runs vs. scalar
+            # collision splits — the pressure-regime observability the
+            # e2e ledger and the zero-fallback acceptance gate read.
             plan.record_prepare(
                 local_slots=self.cache.resolve_pinned(keys[local_idx]),
                 local_hits=masks["hit"],
                 ssd_found=masks["ssd_found"],
+                admission=self._admission_delta(adm_before),
             )
 
         t_remote = 0.0
@@ -319,12 +353,18 @@ class MemPS:
             grads = np.asarray(grads, dtype=np.float64)[own]
         if keys.size == 0:
             return 0.0
-        values, t_fetch, _, _, _ = self.fetch_local(keys, pin=False)
+        values, t_fetch, _, _, _ = self.fetch_local(
+            keys, pin=False, assume_unique=pre_owned
+        )
         new_values = self.optimizer.apply(values, grads)
         # Re-insert rather than update-if-present: under memory pressure a
         # key fetched above can already have been evicted again, and its
-        # update must not be lost.
-        flush_k, flush_v = self.cache.put_batch(keys, new_values)
+        # update must not be lost.  The admission engine keeps this exact
+        # under pressure without degrading to the per-key replay — a key
+        # sitting in the eviction frontier just starts a new run.
+        flush_k, flush_v = self.cache.put_batch(
+            keys, new_values, assume_unique=pre_owned
+        )
         if flush_k.size:
             t_fetch += self.ssd_ps.dump(flush_k, flush_v).total_seconds
         return t_fetch

@@ -11,6 +11,7 @@ re-probing per stage.
 """
 
 from repro.plan.batch_plan import (
+    AdmissionRecord,
     MinibatchPlan,
     NodePlan,
     NodeSyncPlan,
@@ -21,6 +22,7 @@ from repro.plan.batch_plan import (
 )
 
 __all__ = [
+    "AdmissionRecord",
     "MinibatchPlan",
     "NodePlan",
     "NodeSyncPlan",

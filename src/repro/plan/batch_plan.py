@@ -14,11 +14,16 @@ whole plan can be computed in the read stage, before any tier is touched:
   which is exactly the key set of the merged all-reduce update — with each
   node's resident/missing split against its staged working set.
 
-Two plan fields are *not* known at build time and are filled in as stages
-run (see :meth:`NodePlan.record_prepare`): the MEM cache hit/miss split of
-the local partition and the resolved LRU slot rows of the pinned working
-keys.  The write-back stage consumes the slots instead of re-probing the
-SlotIndex for keys the prepare stage just located.
+A few plan fields are *not* known at build time and are filled in as
+stages run (see :meth:`NodePlan.record_prepare`): the MEM cache hit/miss
+split of the local partition, the resolved LRU slot rows of the pinned
+working keys, and the cache's :class:`AdmissionRecord` (how the prepare
+batch split into collision-free bulk runs under memory pressure).  The
+write-back stage consumes the slots instead of re-probing the SlotIndex
+for keys the prepare stage just located.  Conversely the plan *pre-splits*
+the cache's admission work: plan key sets are sorted-unique by
+construction, so every planned cache call runs with ``assume_unique=True``
+and the admission planner skips its duplicate-boundary pass.
 
 Plans are computed with exactly one ``np.unique`` per key set and one
 stable argsort per partition level; every later consumer is a pure index
@@ -36,6 +41,7 @@ from repro.hbm.partition import ModuloPartitioner, bucket_order
 from repro.utils.keys import KEY_DTYPE
 
 __all__ = [
+    "AdmissionRecord",
     "MinibatchPlan",
     "NodePlan",
     "NodeSyncPlan",
@@ -44,6 +50,28 @@ __all__ = [
     "build_round_plan",
     "group_indices",
 ]
+
+
+@dataclass(frozen=True)
+class AdmissionRecord:
+    """How the MEM cache admitted one stage's key batch.
+
+    Recorded by ``MemPS.prepare`` alongside the resolved slot rows: the
+    number of collision-free bulk runs the admission plan applied, the
+    single-key collision splits forced by the eviction frontier, and the
+    whole-batch per-key replays (``n_scalar_fallbacks``) — which must be
+    zero everywhere except under the ``REPRO_CACHE_ORACLE`` parity
+    oracle.  The e2e ledger aggregates these per round.
+    """
+
+    n_runs: int
+    n_collision_splits: int
+    n_scalar_fallbacks: int
+
+    @property
+    def bulk_exact(self) -> bool:
+        """True when no whole-batch per-key replay ran."""
+        return self.n_scalar_fallbacks == 0
 
 
 def group_indices(part_of: np.ndarray, n_parts: int) -> list[np.ndarray]:
@@ -154,6 +182,9 @@ class NodePlan:
     #: of the local cache misses, which ones the SSD resolved (the rest
     #: were fresh-initialized)
     ssd_found: np.ndarray | None = None
+    #: how the cache admitted the prepare stage's local batch — bulk runs
+    #: vs. collision splits vs. (oracle-only) scalar fallbacks
+    admission: AdmissionRecord | None = None
 
     @property
     def local_idx(self) -> np.ndarray:
@@ -166,11 +197,13 @@ class NodePlan:
         local_slots: np.ndarray,
         local_hits: np.ndarray,
         ssd_found: np.ndarray,
+        admission: AdmissionRecord | None = None,
     ) -> None:
         """Attach the prepare stage's resolved state (slots + splits)."""
         self.local_slots = local_slots
         self.local_hits = local_hits
         self.ssd_found = ssd_found
+        self.admission = admission
 
 
 @dataclass

@@ -237,7 +237,9 @@ class DictCombinedCache:
         return self._demote(evicted)
 
     # ------------------------------------------------------------------
-    def get_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def get_batch(
+        self, keys: np.ndarray, *, assume_unique: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         keys = as_keys(keys)
         values = np.zeros((keys.size, self.value_dim), dtype=np.float32)
         hit = np.zeros(keys.size, dtype=bool)
@@ -249,7 +251,12 @@ class DictCombinedCache:
         return values, hit
 
     def put_batch(
-        self, keys: np.ndarray, values: np.ndarray, *, pin: bool = False
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        pin: bool = False,
+        assume_unique: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         keys = as_keys(keys)
         values = np.asarray(values, dtype=np.float32)

@@ -1,0 +1,160 @@
+"""Checkpoint GC (keep-last-N retention) and ledger carry-over.
+
+Production trainers cannot keep every ``round_*`` snapshot: the
+:class:`~repro.core.trainer.Trainer`'s ``checkpoint_keep_last=N`` prunes
+the oldest committed snapshots after each successful commit, atomically
+(manifest deleted before any shard, the same discipline every writer
+uses).  And per-node :class:`~repro.hardware.ledger.CostLedger` totals
+ride inside the node shards, so a restored run *continues* long-horizon
+cost accounting instead of restarting at zero.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ckpt import latest_checkpoint, prune_checkpoints
+from repro.ckpt.format import MANIFEST_NAME, checkpoint_dir_name
+from repro.core.cluster import HPSCluster
+from repro.core.trainer import Trainer
+from repro.hardware.ledger import CostLedger
+
+
+def build(tiny_spec, small_config, **kwargs):
+    return HPSCluster(
+        tiny_spec, small_config, functional_batch_size=128, **kwargs
+    )
+
+
+def committed_rounds(directory: str) -> list[int]:
+    out = []
+    for entry in sorted(os.listdir(directory)):
+        sub = os.path.join(directory, entry)
+        if os.path.isfile(os.path.join(sub, MANIFEST_NAME)):
+            out.append(int(entry.removeprefix("round_")))
+    return out
+
+
+class TestRetention:
+    def test_trainer_keeps_last_n(self, tiny_spec, small_config, tmp_path):
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+            checkpoint_keep_last=2,
+        )
+        trainer.run(5)
+        # Every snapshot was materialized (history sees all five)...
+        assert len(trainer.history.checkpoints) == 5
+        # ...but only the newest two survive on disk.
+        assert committed_rounds(str(tmp_path)) == [4, 5]
+        assert latest_checkpoint(str(tmp_path)).endswith(
+            checkpoint_dir_name(5)
+        )
+
+    def test_kept_snapshot_still_restores(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+            checkpoint_keep_last=1,
+        )
+        trainer.run(3)
+        restored = HPSCluster.restore(latest_checkpoint(str(tmp_path)))
+        assert restored.rounds_completed == 3
+        # Resumed training replays bit-identically to never-pruned runs.
+        straight = build(tiny_spec, small_config)
+        straight.train(4)
+        restored.train(1)
+        probe = straight.generator.batch(10_000, 1024).unique_keys()
+        import numpy as np
+
+        assert np.array_equal(
+            straight.lookup_embeddings(probe),
+            restored.lookup_embeddings(probe),
+        )
+
+    def test_prune_is_manifest_first(self, tiny_spec, small_config, tmp_path):
+        """An interrupted prune leaves only uncommitted debris, which
+        readers already reject and later prunes leave untouched."""
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster, checkpoint_dir=str(tmp_path), checkpoint_every=1
+        )
+        trainer.run(3)
+        # Simulate a prune that died between invalidate and rmtree.
+        victim = os.path.join(str(tmp_path), checkpoint_dir_name(1))
+        os.remove(os.path.join(victim, MANIFEST_NAME))
+        assert latest_checkpoint(str(tmp_path)).endswith(
+            checkpoint_dir_name(3)
+        )
+        removed = prune_checkpoints(str(tmp_path), keep_last=1)
+        # The uncommitted directory is not "the newest", nor removable —
+        # it is debris, skipped entirely.
+        assert [os.path.basename(p) for p in removed] == [
+            checkpoint_dir_name(2)
+        ]
+        assert os.path.isdir(victim)
+        assert committed_rounds(str(tmp_path)) == [3]
+
+    def test_prune_validates_keep_last(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            prune_checkpoints(str(tmp_path), keep_last=0)
+        with pytest.raises(ValueError, match="checkpoint_keep_last"):
+            Trainer(None, checkpoint_keep_last=0)
+
+    def test_prune_missing_directory_is_noop(self, tmp_path):
+        assert prune_checkpoints(str(tmp_path / "absent"), 3) == []
+
+
+class TestLedgerCarryOver:
+    def test_restored_ledger_continues_accounting(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        cluster = build(tiny_spec, small_config)
+        cluster.train(3)
+        saved_totals = [n.ledger.as_dict() for n in cluster.nodes]
+        assert all(t.get("gpu_compute", 0) > 0 for t in saved_totals)
+        cluster.save_checkpoint(str(tmp_path))
+
+        restored = HPSCluster.restore(str(tmp_path))
+        for node, saved in zip(restored.nodes, saved_totals):
+            got = node.ledger.as_dict()
+            # History carried over exactly, with the restore itself booked
+            # on top under ckpt_read — never restarting from zero.
+            assert got["ckpt_read"] > 0
+            for category, total in saved.items():
+                assert got[category] == pytest.approx(total)
+        # Continued training keeps accumulating on the carried history.
+        before = restored.nodes[0].ledger.total("gpu_compute")
+        restored.train(1)
+        assert restored.nodes[0].ledger.total("gpu_compute") > before
+
+    def test_ledger_export_load_round_trip(self):
+        ledger = CostLedger()
+        ledger.add("ssd_read", 1.5)
+        ledger.add("ssd_read", 0.5)
+        ledger.add("allreduce", 2.0)
+        other = CostLedger()
+        other.add("stale", 9.0)  # replaced wholesale by load_state
+        other.load_state(ledger.export_state())
+        assert other.as_dict() == ledger.as_dict()
+        assert other.count("ssd_read") == 2
+        assert other.total("stale") == 0.0
+
+    def test_ledger_load_rejects_malformed(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError, match="shape"):
+            ledger.load_state(
+                {"categories": ["a"], "totals": [], "counts": [1]}
+            )
+        with pytest.raises(ValueError, match="negative"):
+            ledger.load_state(
+                {"categories": ["a"], "totals": [-1.0], "counts": [1]}
+            )
