@@ -7,7 +7,8 @@ asserts
 
 * losslessness — every mode's parameters bit-identical (and, for the
   pressure scenario, simulated seconds bit-identical to the per-key
-  oracle);
+  oracle of each parity group — the non-prefetch modes and the
+  prefetch modes each have their own scalar oracle);
 * the refactors pay — the planned path ≥ 1.5× rounds/s over the
   pre-plan baseline, and the admission engine ≥ 1.5× rounds/s over the
   pre-refactor plan-or-replay cache on the pressure workload;
@@ -86,14 +87,17 @@ def test_e2e_throughput(benchmark):
         f"{default['speedup_planned_over_unplanned']:.2f}x, "
         f"pressure bulk-over-legacy: "
         f"{pressure['speedup_bulk_over_legacy']:.2f}x, "
-        f"bulk-over-scalar: {pressure['speedup_bulk_over_scalar']:.2f}x"
+        f"bulk-over-scalar: {pressure['speedup_bulk_over_scalar']:.2f}x, "
+        f"prefetch-over-bulk: {pressure['speedup_prefetch_over_bulk']:.2f}x"
     )
 
-    # Losslessness: neither the plan nor the admission engine changes
-    # the math — and under pressure not even the simulated clock.
+    # Losslessness: neither the plan, the admission engine, nor the
+    # prefetch stage changes the math — and under pressure not even the
+    # simulated clock (within each parity group).
     assert default["parameter_parity"] is True
     assert pressure["parameter_parity"] is True
     assert pressure["seconds_parity"] is True
+    assert pressure["prefetch_seconds_parity"] is True
     # The admission engine never degrades to the whole-batch per-key
     # replay (the acceptance gate for the bulk-exact cache path).
     assert pressure["bulk_scalar_fallbacks"] == 0

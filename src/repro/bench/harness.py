@@ -16,6 +16,7 @@ Two kinds of experiments:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 
@@ -24,7 +25,7 @@ import numpy as np
 from repro.baselines.mpi_ps import MPITimingModel
 from repro.bench.analytical import AnalyticalHPS
 from repro.config import PAPER_MODELS, ClusterConfig, ModelSpec
-from repro.core.cluster import PIPELINE_STAGE_NAMES, HPSCluster
+from repro.core.cluster import HPSCluster
 from repro.core.trainer import ReferenceTrainer
 from repro.data.generator import CTRDataGenerator
 from repro.hashing.dnn import SimpleDNN
@@ -53,7 +54,10 @@ __all__ = [
 #: Schema tag written into ``BENCH_e2e.json`` (bump on layout changes).
 #: v2: per-scenario layout — the perf-smoke regression gate compares
 #: rounds/s per (scenario, mode), not just the aggregate default run.
-BENCH_E2E_SCHEMA = "bench-e2e/v2"
+#: v3: the pressure scenario grows the plan-driven prefetch modes
+#: (lockstep-prefetch-oracle / lockstep-prefetch / pipelined-prefetch);
+#: their ``stage_seconds`` carry the spliced-in ``prefetch`` stage.
+BENCH_E2E_SCHEMA = "bench-e2e/v3"
 
 #: The memory-pressure e2e workload: cache capacity far below the hot key
 #: set, an LFU-heavy split so LFU→LRU promotion storms form an eviction
@@ -483,11 +487,13 @@ def run_checkpoint_overhead(
 def _instrument_stages(cluster: HPSCluster) -> dict[str, float]:
     """Wrap the cluster's stage functions with wall-clock accumulators.
 
-    Instance attributes shadow the bound methods, so both ``train_round``
-    and ``train_pipelined`` (which resolve stages via
-    ``stage_functions``) report into the returned dict.
+    Rewraps the stage registry in place (``HPSCluster.wrap_stages``), so
+    every stage :meth:`~repro.core.cluster.HPSCluster.stage_functions`
+    returns — the Algorithm 1 four plus any spliced-in optional stage
+    such as prefetch — reports into the returned dict under both
+    execution modes.
     """
-    wall = {name: 0.0 for name in PIPELINE_STAGE_NAMES}
+    wall = {name: 0.0 for name, _ in cluster.stage_functions()}
 
     def timed(name, fn):
         def wrapper(ctx):
@@ -498,10 +504,7 @@ def _instrument_stages(cluster: HPSCluster) -> dict[str, float]:
 
         return wrapper
 
-    cluster.stage_read = timed("read", cluster.stage_read)
-    cluster.stage_prepare = timed("prepare", cluster.stage_prepare)
-    cluster.stage_load = timed("load", cluster.stage_load)
-    cluster.stage_train = timed("train", cluster.stage_train)
+    cluster.wrap_stages(timed)
     return wall
 
 
@@ -626,13 +629,18 @@ def _pressure_scenario(
 
     Cache capacity sits far below the working set (``PRESSURE_WORKLOAD``)
     so every steady-state round drives promotion/eviction collisions.
-    Four modes train on identical data from an identically warmed cache:
+    Seven modes train on identical data from an identically warmed cache:
     the full per-key replay (``force_scalar=True``, the seed parity
     oracle), the pre-refactor plan-or-replay policy (``"legacy"``, the
-    pressure baseline the refactor is measured against), and the bulk
-    admission engine in lockstep and pipelined execution.  Parameters
-    *and* simulated seconds must be bit-identical across all four; the
-    bulk modes must report zero scalar fallbacks.
+    pressure baseline the admission refactor is measured against), the
+    bulk admission engine in lockstep and pipelined execution, and the
+    plan-driven prefetch pipeline (its own scalar-cache oracle plus
+    lockstep and pipelined bulk runs).  Parameters must be bit-identical
+    across all seven; simulated seconds form two parity groups — the
+    non-prefetch four, and the prefetch three (prefetch resolves the
+    round's MEM working set in one pass, so its simulated clock is a
+    distinct but internally lockstep-exact mode).  Every bulk mode must
+    report zero scalar fallbacks.
     """
     wl = PRESSURE_WORKLOAD
     spec = functional_model(n_sparse=wl["n_sparse"])
@@ -644,10 +652,10 @@ def _pressure_scenario(
     )
     warmup = wl["warmup_rounds"]
 
-    def measure(force_scalar, pipelined: bool):
+    def measure(config, force_scalar, pipelined: bool):
         cluster = HPSCluster(
             spec,
-            cfg,
+            config,
             functional_batch_size=wl["batch_size"],
             zipf_exponent=wl["zipf_exponent"],
         )
@@ -665,15 +673,25 @@ def _pressure_scenario(
         elapsed = time.perf_counter() - t0
         return cluster, stats, _throughput_row(stats, elapsed, wall, n_rounds)
 
-    oracle, oracle_stats, row_oracle = measure(True, False)
-    legacy, legacy_stats, row_legacy = measure("legacy", False)
-    planned, planned_stats, row_planned = measure(False, False)
-    pipelined, pipelined_stats, row_pipelined = measure(False, True)
+    oracle, oracle_stats, row_oracle = measure(cfg, True, False)
+    legacy, legacy_stats, row_legacy = measure(cfg, "legacy", False)
+    planned, planned_stats, row_planned = measure(cfg, False, False)
+    pipelined, pipelined_stats, row_pipelined = measure(cfg, False, True)
+
+    cfg_pf = dataclasses.replace(cfg, prefetch=True)
+    pf_oracle, pf_oracle_stats, row_pf_oracle = measure(cfg_pf, True, False)
+    pf_lock, pf_lock_stats, row_pf_lock = measure(cfg_pf, False, False)
+    pf_piped, pf_piped_stats, row_pf_piped = measure(cfg_pf, False, True)
 
     oracle_trace = _sim_seconds_trace(oracle_stats)
     seconds_parity = all(
         _sim_seconds_trace(s) == oracle_trace
         for s in (legacy_stats, planned_stats, pipelined_stats)
+    )
+    pf_oracle_trace = _sim_seconds_trace(pf_oracle_stats)
+    prefetch_seconds_parity = all(
+        _sim_seconds_trace(s) == pf_oracle_trace
+        for s in (pf_lock_stats, pf_piped_stats)
     )
     return {
         "name": "pressure",
@@ -690,6 +708,9 @@ def _pressure_scenario(
             {"mode": "lockstep-legacy", **row_legacy},
             {"mode": "lockstep-planned", **row_planned},
             {"mode": "pipelined-planned", **row_pipelined},
+            {"mode": "lockstep-prefetch-oracle", **row_pf_oracle},
+            {"mode": "lockstep-prefetch", **row_pf_lock},
+            {"mode": "pipelined-prefetch", **row_pf_piped},
         ],
         "speedup_bulk_over_legacy": (
             row_planned["rounds_per_s"] / row_legacy["rounds_per_s"]
@@ -701,13 +722,22 @@ def _pressure_scenario(
             if row_oracle["rounds_per_s"]
             else 0.0
         ),
+        "speedup_prefetch_over_bulk": (
+            row_pf_piped["rounds_per_s"] / row_planned["rounds_per_s"]
+            if row_planned["rounds_per_s"]
+            else 0.0
+        ),
         "bulk_scalar_fallbacks": (
-            row_planned["scalar_fallbacks"] + row_pipelined["scalar_fallbacks"]
+            row_planned["scalar_fallbacks"]
+            + row_pipelined["scalar_fallbacks"]
+            + row_pf_lock["scalar_fallbacks"]
+            + row_pf_piped["scalar_fallbacks"]
         ),
         "parameter_parity": _parameter_parity(
-            oracle, (legacy, planned, pipelined)
+            oracle, (legacy, planned, pipelined, pf_oracle, pf_lock, pf_piped)
         ),
         "seconds_parity": bool(seconds_parity),
+        "prefetch_seconds_parity": bool(prefetch_seconds_parity),
     }
 
 
@@ -730,15 +760,18 @@ def run_e2e_throughput(
       (``use_plan=False``, the parity oracle), lockstep planned, and
       pipelined planned; ``speedup_planned_over_unplanned`` is the perf
       claim every future PR is measured against.
-    * **pressure** — the admission-engine claim: cache capacity far
-      below the working set (``PRESSURE_WORKLOAD``), comparing the bulk
-      admission engine against the per-key replay oracle and the
-      pre-refactor plan-or-replay baseline; ``speedup_bulk_over_legacy``
-      is the pressure-regime perf claim, and ``bulk_scalar_fallbacks``
-      must read zero.
+    * **pressure** — the admission-engine and prefetch claims: cache
+      capacity far below the working set (``PRESSURE_WORKLOAD``),
+      comparing the bulk admission engine against the per-key replay
+      oracle and the pre-refactor plan-or-replay baseline, plus the
+      plan-driven prefetch pipeline against its own scalar-cache
+      oracle; ``speedup_bulk_over_legacy`` and
+      ``speedup_prefetch_over_bulk`` are the pressure-regime perf
+      claims, and ``bulk_scalar_fallbacks`` must read zero.
 
     Trained parameters must be bit-identical across every mode of a
-    scenario (and simulated seconds across the pressure modes).  With
+    scenario (and simulated seconds within each pressure parity
+    group).  With
     ``write_path``, the result is serialized as JSON (the committed
     ``BENCH_e2e.json`` at the repo root is this file).
     """

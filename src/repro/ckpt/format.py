@@ -134,21 +134,34 @@ def verify_shard(directory: str, name: str, expected_digest: str) -> str:
     return path
 
 
-def prune_checkpoints(directory: str, keep_last: int) -> list[str]:
-    """Keep only the newest ``keep_last`` committed snapshots (GC).
+def prune_checkpoints(
+    directory: str, keep_last: int, *, keep_every: int | None = None
+) -> list[str]:
+    """Retention-ladder GC over committed snapshots.
 
     Scans ``directory`` for :func:`checkpoint_dir_name` subdirectories
     with a committed manifest, sorted by ``rounds_completed``, and
-    removes all but the newest ``keep_last``.  Deletion is crash-safe in
-    the same delete-manifest-first discipline every writer uses: the
-    commit record goes first (:func:`invalidate`), so an interrupted
-    prune leaves an *uncommitted* directory that every reader already
-    rejects — never a half-valid snapshot.  Uncommitted directories
-    (crash debris) are left untouched for inspection.  Returns the
-    removed paths, oldest first.
+    removes every snapshot outside the retention ladder:
+
+    * the newest ``keep_last`` snapshots are always kept (the dense
+      rung — cheap rollback to any recent round);
+    * with ``keep_every=M``, snapshots whose ``rounds_completed`` is a
+      multiple of ``M`` are *also* kept, however old (the sparse rung —
+      long-horizon restore points that survive the sliding window).
+
+    The two rungs compose as a union: a snapshot survives if **either**
+    rule keeps it.  Deletion is crash-safe in the same
+    delete-manifest-first discipline every writer uses: the commit
+    record goes first (:func:`invalidate`), so an interrupted prune
+    leaves an *uncommitted* directory that every reader already rejects
+    — never a half-valid snapshot.  Uncommitted directories (crash
+    debris) are left untouched for inspection.  Returns the removed
+    paths, oldest first.
     """
     if keep_last < 1:
         raise ValueError("keep_last must be >= 1")
+    if keep_every is not None and keep_every < 1:
+        raise ValueError("keep_every must be >= 1")
     if not os.path.isdir(directory):
         return []
     committed: list[tuple[int, str]] = []
@@ -163,7 +176,9 @@ def prune_checkpoints(directory: str, keep_last: int) -> list[str]:
         committed.append((int(manifest["rounds_completed"]), sub))
     committed.sort()
     removed: list[str] = []
-    for _, sub in committed[: max(0, len(committed) - keep_last)]:
+    for rounds, sub in committed[: max(0, len(committed) - keep_last)]:
+        if keep_every is not None and rounds % keep_every == 0:
+            continue  # sparse rung of the ladder keeps it
         invalidate(sub)  # commit record first — readers reject from here on
         shutil.rmtree(sub)
         removed.append(sub)

@@ -139,6 +139,15 @@ class ClusterConfig:
     cache_lru_fraction: float = 0.5
     compaction_threshold: float = 2.0
     compaction_stale_fraction: float = 0.5
+    #: resolve each round's full MEM working set (local partition,
+    #: peer-served partitions, owner-queue keys) in one dedicated
+    #: pipeline stage before prepare, pinning it for the round; requires
+    #: planned execution (``HPSCluster(use_plan=True)``)
+    prefetch: bool = False
+    #: SSD extent cache: parameter-file payloads kept hot so repeat
+    #: miss-path reads of the same file skip the device (0 disables; see
+    #: :class:`~repro.ssd.extent_cache.FileHandleCache`)
+    ssd_extent_cache_files: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -146,6 +155,8 @@ class ClusterConfig:
             raise ValueError("cluster must have at least one node and GPU")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.ssd_extent_cache_files < 0:
+            raise ValueError("ssd_extent_cache_files must be >= 0")
         if not 0.0 <= self.cache_lru_fraction <= 1.0:
             raise ValueError("cache_lru_fraction must be in [0, 1]")
         if self.compaction_threshold < 1.0:

@@ -84,6 +84,8 @@ class BatchStats:
     read_seconds: float
     pull_local_seconds: float
     pull_remote_seconds: float
+    #: MEM/SSD stage total: prefetch (when enabled) + the local/remote
+    #: pull critical path + the write-back absorb
     pull_push_seconds: float
     cpu_partition_seconds: float
     hbm_pull_seconds: float
@@ -111,6 +113,10 @@ class BatchStats:
     cache_admission_runs: int = 0
     cache_collision_splits: int = 0
     cache_scalar_fallbacks: int = 0
+    #: seconds the dedicated prefetch stage spent resolving + loading
+    #: the round's MEM working set (0 unless ``config.prefetch``); part
+    #: of :attr:`pull_push_seconds`
+    prefetch_seconds: float = 0.0
 
     @property
     def bottleneck_seconds(self) -> float:
@@ -123,14 +129,17 @@ class BatchStats:
 
     @property
     def pipeline_stage_seconds(self) -> tuple[float, float, float, float]:
-        """The four executor-stage durations of this round.
+        """The four Algorithm 1 stage durations of this round.
 
-        Matches the :class:`~repro.core.engine.PipelinedEngine` stage split
-        (HDFS read, MEM/SSD prepare, CPU partition + HBM load, GPU
-        train/sync/write-back); summing all four gives the round's serial
-        makespan.
+        Matches the base :class:`~repro.core.engine.PipelinedEngine`
+        stage split (HDFS read, MEM/SSD prepare, CPU partition + HBM
+        load, GPU train/sync/write-back); a registered prefetch stage
+        folds into the prepare element.  Summing all four gives the
+        round's serial makespan.
         """
-        prepare = max(self.pull_local_seconds, self.pull_remote_seconds)
+        prepare = self.prefetch_seconds + max(
+            self.pull_local_seconds, self.pull_remote_seconds
+        )
         absorb = self.pull_push_seconds - prepare
         return (
             self.read_seconds,
@@ -158,6 +167,8 @@ class RoundContext:
     #: the round's key plan (computed once in stage_read when the cluster
     #: runs planned; every later stage consumes its precomputed indices)
     plan: RoundPlan | None = None
+    # optional stage 1.5: MEM working-set prefetch
+    prefetch_seconds: float = 0.0
     # stage 2: MEM-PS/SSD-PS prepare
     workings: list[np.ndarray] = field(default_factory=list)
     prep_values: list[np.ndarray] = field(default_factory=list)
@@ -236,6 +247,11 @@ class HPSCluster:
         ssd_directory: str | None = None,
         use_plan: bool = True,
     ) -> None:
+        if cluster_config.prefetch and not use_plan:
+            raise ValueError(
+                "config.prefetch requires planned execution (use_plan=True):"
+                " the prefetch stage consumes the round plan's key unions"
+            )
         self.model_spec = model_spec
         self.config = cluster_config
         #: compute each round's BatchPlan once in stage_read and thread it
@@ -287,6 +303,20 @@ class HPSCluster:
         #: Cost accounting of the restore that produced this cluster
         #: (set by :meth:`restore`; None for a freshly built cluster).
         self.restore_stats = None
+        #: the pipeline's ``(name, fn(ctx) -> seconds)`` stages, in
+        #: execution order.  The four Algorithm 1 stages are fixed;
+        #: optional stages splice in via :meth:`register_stage` — both
+        #: execution modes and the bench harness drive whatever
+        #: :meth:`stage_functions` returns, so a registered stage is
+        #: automatically executed, scheduled, and instrumented.
+        self._stage_defs: list[tuple[str, object]] = [
+            (PIPELINE_STAGE_NAMES[0], self.stage_read),
+            (PIPELINE_STAGE_NAMES[1], self.stage_prepare),
+            (PIPELINE_STAGE_NAMES[2], self.stage_load),
+            (PIPELINE_STAGE_NAMES[3], self.stage_train),
+        ]
+        if cluster_config.prefetch:
+            self.register_stage("prefetch", self.stage_prefetch, after="read")
 
     # ------------------------------------------------------------------
     @property
@@ -300,13 +330,37 @@ class HPSCluster:
     # PipelinedEngine, which overlaps consecutive rounds on the clock.
     # ------------------------------------------------------------------
     def stage_functions(self):
-        """The four pipeline stages as ``(name, fn(ctx) -> seconds)`` pairs."""
-        return (
-            (PIPELINE_STAGE_NAMES[0], self.stage_read),
-            (PIPELINE_STAGE_NAMES[1], self.stage_prepare),
-            (PIPELINE_STAGE_NAMES[2], self.stage_load),
-            (PIPELINE_STAGE_NAMES[3], self.stage_train),
-        )
+        """The pipeline stages as ``(name, fn(ctx) -> seconds)`` pairs.
+
+        The base Algorithm 1 stages plus anything spliced in via
+        :meth:`register_stage`, in execution order.
+        """
+        return tuple(self._stage_defs)
+
+    def register_stage(self, name: str, fn, *, after: str) -> None:
+        """Splice stage ``name`` into the pipeline right after ``after``.
+
+        Stage functions share the uniform ``fn(ctx) -> seconds``
+        signature; lockstep, the pipelined engine, and the bench
+        harness's instrumentation all iterate :meth:`stage_functions`,
+        so a registered stage needs no further wiring anywhere.
+        """
+        names = [n for n, _ in self._stage_defs]
+        if name in names:
+            raise ValueError(f"stage {name!r} is already registered")
+        if after not in names:
+            raise ValueError(f"cannot register after unknown stage {after!r}")
+        self._stage_defs.insert(names.index(after) + 1, (name, fn))
+
+    def wrap_stages(self, wrap) -> None:
+        """Replace every stage fn with ``wrap(name, fn)`` in the registry.
+
+        Instrumentation hook: the bench harness wraps each stage with a
+        wall-clock accumulator.  Both execution modes resolve stages
+        through :meth:`stage_functions`, so wrappers installed here are
+        driven everywhere a stage runs.
+        """
+        self._stage_defs = [(n, wrap(n, f)) for n, f in self._stage_defs]
 
     def stage_read(self, ctx: RoundContext) -> float:
         """Stage 1 — HDFS read (Alg. 1 line 2); data-parallel per node.
@@ -328,18 +382,21 @@ class HPSCluster:
                 gpu_partitioner=self.nodes[0].hbm_ps.params.partitioner,
                 n_gpus=self.config.gpus_per_node,
                 mb_rounds=self.config.minibatches_per_gpu,
+                prefetch=self.config.prefetch,
             )
         return ctx.read_seconds
 
-    def stage_prepare(self, ctx: RoundContext) -> float:
-        """Stage 2 — gather working parameters (lines 3-4).
+    def _snapshot_counters(self, ctx: RoundContext) -> None:
+        """Bracket the round's cache/SSD/compaction accounting.
 
-        Snapshots the cache/SSD/compaction counters first: this is the
-        round's first cache-touching stage, so bracketing here keeps the
-        per-round accounting correct in both execution modes.
+        Called by the round's first cache-touching stage — prefetch when
+        registered, prepare otherwise — and idempotent per round, so the
+        brackets stay correct in both execution modes whichever stage
+        runs first.
         """
+        if ctx.cache_stats_before:
+            return
         nodes = self.nodes
-        plan = ctx.plan
         ctx.cache_stats_before = [
             (n.mem_ps.cache.stats.hits, n.mem_ps.cache.stats.misses)
             for n in nodes
@@ -354,6 +411,36 @@ class HPSCluster:
             n.ledger.total("ssd_read") + n.ledger.total("ssd_write")
             for n in nodes
         ]
+
+    def stage_prefetch(self, ctx: RoundContext) -> float:
+        """Optional stage — resolve + pin the round's MEM working set.
+
+        Registered between read and prepare when ``config.prefetch`` is
+        on: every node pulls its :class:`~repro.plan.NodePrefetchPlan`
+        union (local partition, peer-served partitions, owner-queue
+        keys) through cache → SSD → fresh-init exactly once and pins it
+        for the round, so every later stage's MEM access is a pure row
+        gather.  Nodes run in parallel — the stage costs the slowest
+        node's resolve + load time.
+        """
+        self._snapshot_counters(ctx)
+        seconds = 0.0
+        for node, pplan in zip(self.nodes, ctx.plan.prefetch):
+            seconds = max(seconds, node.mem_ps.prefetch(pplan))
+        ctx.prefetch_seconds = seconds
+        return seconds
+
+    def stage_prepare(self, ctx: RoundContext) -> float:
+        """Stage 2 — gather working parameters (lines 3-4).
+
+        Snapshots the cache/SSD/compaction counters when it is the
+        round's first cache-touching stage (no prefetch registered), so
+        the per-round accounting brackets correctly in both execution
+        modes.
+        """
+        nodes = self.nodes
+        plan = ctx.plan
+        self._snapshot_counters(ctx)
         if plan is not None:
             ctx.workings = [p.keys for p in plan.nodes]
             prep_out = [
@@ -438,7 +525,12 @@ class HPSCluster:
                     emb, t_pull = node.hbm_ps.pull_embeddings(
                         mb_keys, gpu=gpu, mb=mbp
                     )
-                    result = node.model.train_minibatch(mb, mb_keys, emb)
+                    result = node.model.train_minibatch(
+                        mb,
+                        mb_keys,
+                        emb,
+                        flat_idx=mbp.emb_idx if mbp is not None else None,
+                    )
                     t_gpu = node.gpu_compute.train(flops_per_ex * mb.n_examples)
                     t_push = node.hbm_ps.push_gradients(
                         result.sparse_grad.keys,
@@ -491,10 +583,20 @@ class HPSCluster:
                     t_apply = max(t_apply, t_a)
                     own = spn.missing_own_idx
                     if own.size:
+                        pf = (
+                            plan.prefetch[i]
+                            if plan.prefetch is not None
+                            else None
+                        )
                         node.mem_ps.apply_gradients(
                             global_update.keys[own],
                             global_update.grads[own],
                             pre_owned=True,
+                            rows=(
+                                pf.rows[pf.update_pos[m]]
+                                if pf is not None
+                                else None
+                            ),
                         )
                 else:
                     missing, t_a = node.hbm_ps.apply_update(global_update)
@@ -552,7 +654,8 @@ class HPSCluster:
             read_seconds=ctx.read_seconds,
             pull_local_seconds=ctx.pull_local_seconds,
             pull_remote_seconds=ctx.pull_remote_seconds,
-            pull_push_seconds=max(ctx.pull_local_seconds, ctx.pull_remote_seconds)
+            pull_push_seconds=ctx.prefetch_seconds
+            + max(ctx.pull_local_seconds, ctx.pull_remote_seconds)
             + absorb_s,
             cpu_partition_seconds=ctx.cpu_partition_seconds,
             hbm_pull_seconds=hbm_pull_s / self.n_nodes,
@@ -575,6 +678,7 @@ class HPSCluster:
             cache_admission_runs=sum(d[0] for d in adm_delta),
             cache_collision_splits=sum(d[1] for d in adm_delta),
             cache_scalar_fallbacks=sum(d[2] for d in adm_delta),
+            prefetch_seconds=ctx.prefetch_seconds,
         )
         ctx.stats = stats
         self.history.append(stats)
@@ -586,7 +690,7 @@ class HPSCluster:
     def train_round(self, round_index: int | None = None) -> BatchStats:
         """Run one global batch through Algorithm 1 on every node.
 
-        Lockstep mode: the four pipeline stages run back-to-back.  This is
+        Lockstep mode: the pipeline stages run back-to-back.  This is
         the parity oracle for :meth:`train_pipelined` — both modes call
         the same stage functions in the same order.
         """
@@ -606,7 +710,7 @@ class HPSCluster:
         *,
         queue_capacity: int | tuple[int, ...] = 2,
     ) -> PipelinedRun:
-        """Run ``n_rounds`` with inter-round overlap (the 4-stage pipeline).
+        """Run ``n_rounds`` with inter-round overlap (the stage pipeline).
 
         Performs exactly the same work as ``n_rounds`` :meth:`train_round`
         calls — trained parameters are bit-identical to lockstep — but the

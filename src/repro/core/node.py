@@ -56,11 +56,13 @@ class HPSNode:
         self.ssd_ps = SSDPS(
             sparse_optimizer.value_dim,
             file_capacity=cfg.ssd_file_capacity,
+            extent_cache_files=cfg.ssd_extent_cache_files,
             ssd_spec=self.hardware.ssd,
             usage_threshold=cfg.compaction_threshold,
             stale_fraction=cfg.compaction_stale_fraction,
             directory=ssd_directory,
             ledger=self.ledger,
+            key_domain=model_spec.n_sparse,
         )
         self.mem_ps = MemPS(
             node_id,
@@ -72,6 +74,7 @@ class HPSNode:
             network=self.network,
             ledger=self.ledger,
             seed=cfg.seed,
+            key_domain=model_spec.n_sparse,
         )
         self.hbm_ps = HBMPS(
             cfg.gpus_per_node,

@@ -26,7 +26,7 @@ from repro.nn.metrics import auc
 from repro.nn.model import CTRModel
 from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
 from repro.store.flat import FlatStore
-from repro.utils.keys import as_keys
+from repro.utils.keys import as_keys, compact_unique
 from repro.utils.rng import derive_seed
 
 __all__ = ["Trainer", "TrainingHistory", "ReferenceTrainer"]
@@ -74,7 +74,10 @@ class Trainer:
     ``N`` are pruned atomically (manifest deleted first, so a crash
     mid-prune can never leave a half-valid snapshot).  Pruning runs only
     *after* the new snapshot commits — the newest restore point is never
-    at risk.
+    at risk.  ``checkpoint_keep_every=M`` adds the sparse rung of the
+    retention ladder: snapshots at rounds divisible by ``M`` survive the
+    sliding window forever (see
+    :func:`~repro.ckpt.format.prune_checkpoints`).
     """
 
     def __init__(
@@ -86,17 +89,26 @@ class Trainer:
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
         checkpoint_keep_last: int | None = None,
+        checkpoint_keep_every: int | None = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if checkpoint_keep_last is not None and checkpoint_keep_last < 1:
             raise ValueError("checkpoint_keep_last must be >= 1")
+        if checkpoint_keep_every is not None and checkpoint_keep_every < 1:
+            raise ValueError("checkpoint_keep_every must be >= 1")
+        if checkpoint_keep_every is not None and checkpoint_keep_last is None:
+            raise ValueError(
+                "checkpoint_keep_every requires checkpoint_keep_last "
+                "(the ladder's sparse rung composes on top of the window)"
+            )
         self.cluster = cluster
         self.eval_batch = eval_batch
         self.eval_every = eval_every
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep_last = checkpoint_keep_last
+        self.checkpoint_keep_every = checkpoint_keep_every
         self.history = TrainingHistory()
 
     def _maybe_checkpoint(self, round_in_run: int) -> None:
@@ -114,7 +126,11 @@ class Trainer:
         if self.checkpoint_keep_last is not None:
             # Only after the new snapshot committed: the retention window
             # always contains the snapshot that just landed.
-            prune_checkpoints(self.checkpoint_dir, self.checkpoint_keep_last)
+            prune_checkpoints(
+                self.checkpoint_dir,
+                self.checkpoint_keep_last,
+                keep_every=self.checkpoint_keep_every,
+            )
 
     def run(self, n_rounds: int) -> TrainingHistory:
         for i in range(n_rounds):
@@ -240,7 +256,7 @@ class ReferenceTrainer:
                 if gpu_keys:
                     cat_keys = np.concatenate(gpu_keys)
                     cat_grads = np.concatenate(gpu_grads, axis=0)
-                    nk, inv = np.unique(cat_keys, return_inverse=True)
+                    nk, inv = compact_unique(cat_keys, return_inverse=True)
                     buf32 = np.zeros(
                         (nk.size, cat_grads.shape[1]), dtype=np.float32
                     )
@@ -251,7 +267,7 @@ class ReferenceTrainer:
                     else:
                         keys = np.concatenate([global_keys, nk])
                         grads_cat = np.concatenate([global_grads, ng])
-                        uniq, inv = np.unique(keys, return_inverse=True)
+                        uniq, inv = compact_unique(keys, return_inverse=True)
                         merged = np.zeros(
                             (uniq.size, grads_cat.shape[1]), dtype=np.float64
                         )

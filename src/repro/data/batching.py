@@ -48,6 +48,7 @@ class Batch:
             raise ValueError("offsets must be non-decreasing")
         if self.labels.size != self.offsets.size - 1:
             raise ValueError("labels length must equal number of examples")
+        self._unique: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -60,8 +61,15 @@ class Batch:
 
     def unique_keys(self) -> np.ndarray:
         """Sorted unique feature keys referenced by this batch —
-        the batch's *working parameters* (Algorithm 1 line 3)."""
-        return unique_keys(self.keys)
+        the batch's *working parameters* (Algorithm 1 line 3).
+
+        Memoized (batches are immutable once built, and the plan builder
+        and every stage ask for the same set); treat the returned array
+        as read-only.
+        """
+        if self._unique is None:
+            self._unique = unique_keys(self.keys)
+        return self._unique
 
     def row_lengths(self) -> np.ndarray:
         return np.diff(self.offsets)

@@ -119,11 +119,9 @@ class CTRDataGenerator:
         if batch_keys.size == 0:
             return out
         # Pair each key with the next key of the same example.
-        idx = np.arange(batch_keys.size - 1)
-        same_row = np.repeat(np.arange(n), lengths)[:-1] == np.repeat(
-            np.arange(n), lengths
-        )[1:]
-        pair_idx = idx[same_row]
+        row = np.repeat(np.arange(n), lengths)
+        same_row = row[:-1] == row[1:]
+        pair_idx = np.flatnonzero(same_row)
         with np.errstate(over="ignore"):
             pair_hash = splitmix64(
                 batch_keys[pair_idx] * np.uint64(0x9E3779B97F4A7C15)
@@ -131,8 +129,9 @@ class CTRDataGenerator:
             )
         u = (pair_hash >> np.uint64(11)).astype(np.float64) / float(2**53)
         contrib = (u - 0.5) * 2.0
-        row_of_pair = np.repeat(np.arange(n), lengths)[:-1][same_row]
-        np.add.at(out, row_of_pair, contrib)
+        row_of_pair = row[:-1][same_row]
+        # Sequential float64 accumulation, bit-identical to np.add.at.
+        out += np.bincount(row_of_pair, weights=contrib, minlength=n)
         return out
 
     # ------------------------------------------------------------------

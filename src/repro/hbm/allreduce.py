@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.hardware.gpu import NVLink
 from repro.hardware.network import Network
-from repro.utils.keys import KEY_DTYPE, as_keys
+from repro.utils.keys import KEY_DTYPE, as_keys, compact_unique
 
 __all__ = [
     "SparseUpdate",
@@ -83,7 +83,7 @@ def merge_updates(a: SparseUpdate, b: SparseUpdate) -> SparseUpdate:
         return a
     keys = np.concatenate([a.keys, b.keys])
     grads = np.concatenate([a.grads, b.grads])
-    uniq, inv = np.unique(keys, return_inverse=True)
+    uniq, inv = compact_unique(keys, return_inverse=True)
     out = np.zeros((uniq.size,) + a.grads.shape[1:], dtype=np.float64)
     np.add.at(out, inv, grads)
     return SparseUpdate(uniq, out)

@@ -11,9 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.keys import as_keys, mix_hash
+from repro.utils.keys import KEY_DTYPE, as_keys, mix_hash
 
 __all__ = ["ModuloPartitioner", "partition_arrays", "bucket_order"]
+
+#: Largest key domain served by the memoized bucket table (mirrors the
+#: dense caps in :mod:`repro.store.slot_index` and :mod:`repro.utils.keys`).
+#: Compact domains pay the hashed modulo once per key ever, then gather.
+_PART_TABLE_CAP = 1 << 22
 
 
 def bucket_order(parts: np.ndarray, n_parts: int) -> tuple[np.ndarray, np.ndarray]:
@@ -51,14 +56,35 @@ class ModuloPartitioner:
         self.n_parts = n_parts
         self.salt = salt
         self.hashed = hashed
+        self._table: np.ndarray | None = None
+        self._untabled = 0
 
     def part_of(self, keys: np.ndarray) -> np.ndarray:
         """Bucket index for every key (vectorized)."""
         keys = as_keys(keys)
-        if self.hashed:
-            h = mix_hash(keys, seed=self.salt)
-        else:
-            h = keys
+        if not self.hashed:
+            return (keys % np.uint64(self.n_parts)).astype(np.int64)
+        if keys.size:
+            mx = int(keys.max())
+            if mx < _PART_TABLE_CAP:
+                tab = self._table
+                if tab is not None and tab.size > mx:
+                    return tab[keys.astype(np.int64)]
+                # Build the table only once the keys hashed without it
+                # would have paid for the build — a one-shot large batch
+                # (e.g. a cold 100k-key prepare) keeps the direct hash,
+                # a steady stream over a compact domain converts.
+                self._untabled += keys.size
+                if self._untabled >= mx + 1:
+                    # Doubling amortizes rebuilds while the observed
+                    # domain grows toward its true bound (n_sparse).
+                    dom = np.arange(max(1024, 2 * (mx + 1)), dtype=KEY_DTYPE)
+                    self._table = (
+                        mix_hash(dom, seed=self.salt)
+                        % np.uint64(self.n_parts)
+                    ).astype(np.int64)
+                    return self._table[keys.astype(np.int64)]
+        h = mix_hash(keys, seed=self.salt)
         return (h % np.uint64(self.n_parts)).astype(np.int64)
 
     def split(self, keys: np.ndarray, *arrays: np.ndarray):

@@ -97,6 +97,20 @@ def _dup_bound(prev_dup: np.ndarray | None, start: int, n: int) -> int:
     cuts = np.flatnonzero(prev_dup[start:] >= start)
     return start + int(cuts[0]) if cuts.size else n
 
+def _batch_hashes(keys: np.ndarray, *indices) -> np.ndarray | None:
+    """Precompute ``mix_hash`` once per batch — or not at all.
+
+    While every index involved is direct-addressed
+    (:attr:`SlotIndex.hash_free`) the hashes would never be read, so the
+    batch paths pass ``None``; an index that escapes to open addressing
+    mid-operation computes the hash itself.
+    """
+    for ix in indices:
+        if not ix.hash_free:
+            return mix_hash(keys)
+    return None
+
+
 _PINNED_MSG = (
     "cache over capacity with all residents pinned — the pinned "
     "working set must fit in memory (paper Section 5)"
@@ -154,12 +168,17 @@ class _SlabCache:
     metadata (recency ticks / frequency+tick priorities).
     """
 
-    def __init__(self, capacity: int, value_dim: int | None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        value_dim: int | None,
+        key_domain: int | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.value_dim = value_dim
-        self._index = SlotIndex(capacity)
+        self._index = SlotIndex(capacity, key_domain=key_domain)
         self._keys = np.full(capacity, EMPTY_KEY, dtype=KEY_DTYPE)
         self._values: np.ndarray | None = None
         if value_dim is not None:
@@ -291,8 +310,14 @@ class LRUCache(_SlabCache):
     scan did.
     """
 
-    def __init__(self, capacity: int, *, value_dim: int | None = None) -> None:
-        super().__init__(capacity, value_dim)
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        value_dim: int | None = None,
+        key_domain: int | None = None,
+    ) -> None:
+        super().__init__(capacity, value_dim, key_domain)
         self._tick = np.full(capacity, _FAR, dtype=np.int64)
         self._pinned = np.zeros(capacity, dtype=bool)
 
@@ -480,14 +505,14 @@ class LRUCache(_SlabCache):
                 pairs.extend(self.put(int(keys[i]), vals[i], pin=pin))
             return _as_pairs(pairs, self.value_dim)
         prev_dup = None if assume_unique else _prev_occurrence(keys)
-        hashes = mix_hash(keys)
+        hashes = _batch_hashes(keys, self._index)
         ek_parts: list[np.ndarray] = []
         ev_parts: list[np.ndarray] = []
         s, n = 0, keys.size
         while s < n:
             bound = _dup_bound(prev_dup, s, n)
             rem = keys[s:bound]
-            h = hashes[s:bound]
+            h = None if hashes is None else hashes[s:bound]
             rows, resident, hints = self._index.locate(rem, h)
             run, order = self._admission_run_length(
                 inserts=~resident,
@@ -521,7 +546,9 @@ class LRUCache(_SlabCache):
                 order=order,
             )
             assert plan is not None  # guaranteed by the run conditions
-            ek, ev, _, _, _ = self._apply_put(plan, h[:run], hints[:run])
+            ek, ev, _, _, _ = self._apply_put(
+                plan, None if h is None else h[:run], hints[:run]
+            )
             if ek.size:
                 ek_parts.append(ek)
                 ev_parts.append(ev)
@@ -683,7 +710,7 @@ class LRUCache(_SlabCache):
             if hints is not None:
                 self._index.install(keys[new_idx], rows, hints[new_idx], sub_hashes)
             else:
-                self._index.set(keys[new_idx], rows, sub_hashes)
+                self._index.insert_absent(keys[new_idx], rows, sub_hashes)
         return (
             np.concatenate(ev_keys).astype(KEY_DTYPE),
             np.concatenate(ev_vals, axis=0),
@@ -701,8 +728,14 @@ class LFUCache(_SlabCache):
     exactly the seed bucket implementation's least-recently-added rule.
     """
 
-    def __init__(self, capacity: int, *, value_dim: int | None = None) -> None:
-        super().__init__(capacity, value_dim)
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        value_dim: int | None = None,
+        key_domain: int | None = None,
+    ) -> None:
+        super().__init__(capacity, value_dim, key_domain)
         self._freq = np.full(capacity, _FAR, dtype=np.int64)
         self._tick = np.full(capacity, _FAR, dtype=np.int64)
 
@@ -872,9 +905,24 @@ class LFUCache(_SlabCache):
             free0 = np.int64(self.capacity - self.size)
             E = np.cumsum((~resident).astype(np.int64)) - free0
             np.maximum(E, 0, out=E)
-            # Resident overwrites bump mid-run state the greedy eviction
-            # plan cannot see; they are only exact in eviction-free runs.
-            run = _run_cut(~(np.logical_or.accumulate(resident) & (E > 0)))
+            # Resident overwrites bump mid-run state a static eviction
+            # pool cannot see.  Under eviction pressure, first try the
+            # extended plan that models the bumps as arrivals; only when
+            # its safety precondition fails is the run cut.
+            colliding = np.logical_or.accumulate(resident) & (E > 0)
+            if colliding.any():
+                out = self._mixed_bulk_insert(
+                    rem, vals[s:bound], freq, slots, resident, E
+                )
+                if out is not None:
+                    fk, fv = out
+                    if fk.size:
+                        ek_parts.append(fk)
+                        ev_parts.append(fv)
+                    self.admission_runs += 1
+                    s = bound
+                    continue
+            run = _run_cut(~colliding)
             if run == 0:
                 self.collision_splits += 1
                 pairs = self.put(int(keys[s]), vals[s], freq=freq)
@@ -903,7 +951,7 @@ class LFUCache(_SlabCache):
                     self._values[rows] = sub_vals[new]
                     self._freq[rows] = freq
                     self._tick[rows] = ticks[new]
-                    self._index.set(new_keys, rows)
+                    self._index.insert_absent(new_keys, rows)
             else:
                 freqs = np.full(run, freq, dtype=np.int64)
                 fk, fv = self.bulk_insert(rem[:run], vals[s:e], freqs)
@@ -939,7 +987,7 @@ class LFUCache(_SlabCache):
             self._values[rows] = vals
             self._freq[rows] = freqs
             self._tick[rows] = self._ticks(m)
-            self._index.set(keys, rows)
+            self._index.insert_absent(keys, rows)
             return _empty_pairs(self.value_dim)
         # Arrival j (0-based) becomes an eviction candidate once its
         # insert has happened: eviction slot t (0-based) precedes insert
@@ -968,7 +1016,100 @@ class LFUCache(_SlabCache):
         self._values[rows] = vals[keep]
         self._freq[rows] = freqs[keep]
         self._tick[rows] = ticks[keep]
-        self._index.set(keys[keep], rows)
+        self._index.insert_absent(keys[keep], rows)
+        return fkeys[order].astype(KEY_DTYPE), fvals[order]
+
+    def _mixed_bulk_insert(
+        self,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        freq: int,
+        slots: np.ndarray,
+        resident: np.ndarray,
+        E: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Exact plan for a mixed run *with* evictions, or None.
+
+        Resident overwrites bump (freq, tick) mid-run — state the static
+        pool of :func:`_greedy_evictions` cannot see.  Each resident is
+        modeled exactly by moving it out of the pool and into the
+        arrivals channel at its post-bump priority (freq+1, batch-order
+        tick), released at the first eviction after its own bump —
+        provided no resident can be evicted *before* its bump.  That
+        pre-bump safety holds whenever at least ``E[j]`` strictly-cheaper
+        non-run residents exist (each of the first ``E[j]`` evictions
+        then still has a cheaper victim available: ``t`` evictions can
+        have consumed at most ``t < E[j]`` of them, and cheaper arrivals
+        only add victims).  The check is conservative; when it fails the
+        caller cuts the run, which is always exact.
+
+        A resident evicted after its bump flushes the batch's *new*
+        value — the overwrite happened first in sequential order.
+        """
+        m = keys.size
+        res_slots = slots[resident]
+        n_res = int(res_slots.size)
+        arrivals = ~resident
+        free0 = self.capacity - self.size
+        n_evict = max(0, (m - n_res) - free0)
+        # Candidate pool, cheapest first, wide enough that the run's
+        # residents can be excluded with n_evict candidates remaining.
+        cand = self._pool_candidates(n_evict + n_res)
+        in_run = np.isin(cand, res_slots, assume_unique=True)
+        # Strictly-cheaper non-run candidates at each priority rank
+        # (exclusive prefix count of non-run entries).
+        nonrun = (~in_run).astype(np.int64)
+        cheaper_at = np.cumsum(nonrun) - nonrun
+        by_slot = np.argsort(cand)
+        pos = np.searchsorted(cand[by_slot], res_slots)
+        # A run resident beyond the truncated pool window is costlier
+        # than all of it, hence than >= n_evict non-run slots: safe.
+        cheaper = np.full(n_res, np.int64(n_evict))
+        idx = np.minimum(pos, cand.size - 1)
+        found = cand[by_slot][idx] == res_slots
+        cheaper[found] = cheaper_at[by_slot[idx[found]]]
+        if (cheaper < E[resident]).any():
+            return None
+        pool = cand[~in_run][:n_evict]
+        # Per-position arrival channel: fresh inserts at the seed
+        # frequency, bumped residents at freq+1.  Both become eviction
+        # candidates at the first eviction after their own operation —
+        # with A the inclusive arrival count, max(0, A - free0) in both
+        # cases (an arrival's own insert is number A-1, a resident's
+        # bump precedes insert A).
+        d_freq = np.full(m, np.int64(freq))
+        d_freq[resident] = self._freq[res_slots] + 1
+        A = np.cumsum(arrivals.astype(np.int64))
+        d_release = np.maximum(0, A - free0)
+        pool_slot, d_slot = _greedy_evictions(
+            self._freq[pool], self._tick[pool], d_freq, d_release, n_evict
+        )
+        taken_pool = pool_slot >= 0
+        taken_d = d_slot >= 0
+        fkeys = np.concatenate([self._keys[pool[taken_pool]], keys[taken_d]])
+        fvals = np.concatenate(
+            [self._values[pool[taken_pool]].copy(), vals[taken_d]], axis=0
+        )
+        order = np.argsort(
+            np.concatenate([pool_slot[taken_pool], d_slot[taken_d]]),
+            kind="stable",
+        )
+        self._remove_slots(pool[taken_pool])
+        ticks = self._ticks(m)
+        surviving = resident & ~taken_d
+        rs = slots[surviving]
+        self._values[rs] = vals[surviving]
+        self._freq[rs] += 1
+        self._tick[rs] = ticks[surviving]
+        self._remove_slots(slots[resident & taken_d])
+        keep = arrivals & ~taken_d
+        rows = self._alloc(int(keep.sum()))
+        if rows.size:
+            self._keys[rows] = keys[keep]
+            self._values[rows] = vals[keep]
+            self._freq[rows] = freq
+            self._tick[rows] = ticks[keep]
+            self._index.insert_absent(keys[keep], rows)
         return fkeys[order].astype(KEY_DTYPE), fvals[order]
 
     def _pool_candidates(self, n_evict: int) -> np.ndarray:
@@ -1055,16 +1196,22 @@ class CombinedCache:
     """
 
     def __init__(
-        self, capacity: int, *, lru_fraction: float = 0.5, value_dim: int = 1
+        self,
+        capacity: int,
+        *,
+        lru_fraction: float = 0.5,
+        value_dim: int = 1,
+        key_domain: int | None = None,
     ) -> None:
+        self.key_domain = key_domain
         if capacity < 2:
             raise ValueError("combined cache needs capacity >= 2")
         if not 0.0 < lru_fraction < 1.0:
             raise ValueError("lru_fraction must be in (0, 1)")
         lru_cap = max(1, int(capacity * lru_fraction))
         lfu_cap = max(1, capacity - lru_cap)
-        self.lru = LRUCache(lru_cap, value_dim=value_dim)
-        self.lfu = LFUCache(lfu_cap, value_dim=value_dim)
+        self.lru = LRUCache(lru_cap, value_dim=value_dim, key_domain=key_domain)
+        self.lfu = LFUCache(lfu_cap, value_dim=value_dim, key_domain=key_domain)
         self.value_dim = value_dim
         self.stats = CacheStats()
         #: access counts of LRU-tier residents, aligned with LRU slots.
@@ -1208,12 +1355,12 @@ class CombinedCache:
             return values, hit
         lru, lfu = self.lru, self.lfu
         prev_dup = None if assume_unique else _prev_occurrence(keys)
-        hashes = mix_hash(keys)
+        hashes = _batch_hashes(keys, lru._index, lfu._index)
         s, n = 0, keys.size
         while s < n:
             bound = _dup_bound(prev_dup, s, n)
             rem = keys[s:bound]
-            h = hashes[s:bound]
+            h = None if hashes is None else hashes[s:bound]
             lru_slots, in_lru, lru_hints = lru._index.locate(rem, h)
             lfu_slots, in_lfu = lfu._index.get(rem, h)
             run, order = lru._admission_run_length(
@@ -1249,7 +1396,7 @@ class CombinedCache:
                 lfu_slots[:run],
                 in_lfu[:run],
                 lru_hints[:run],
-                h[:run],
+                None if h is None else h[:run],
                 order,
             )
             self.stats.admission_runs += 1
@@ -1258,13 +1405,16 @@ class CombinedCache:
 
     def _get_run(
         self, keys, values, hit, lru_slots, in_lru, lfu_slots, in_lfu,
-        lru_hints, hashes, order=None,
+        lru_hints, hashes, order=None, out_rows=None,
     ) -> None:
         """Apply one collision-free lookup run (dense slab ops only).
 
         ``values``/``hit`` are views into the caller's output arrays;
         ``order`` is the eviction-order array the admission planner
-        already materialized (reused, not rescanned).
+        already materialized (reused, not rescanned).  ``out_rows``, when
+        given, receives each hit position's final LRU slab row (resident
+        slot or freshly installed promotion row; misses stay -1) so the
+        prefetch path can pin without re-probing the index.
         """
         lru, lfu = self.lru, self.lfu
         overflow = max(0, lru.size + int(in_lfu.sum()) - lru.capacity)
@@ -1286,6 +1436,8 @@ class CombinedCache:
         res = lru_slots[in_lru]
         lru._tick[res] = tick_of[in_lru]
         self._counts[res] += 1
+        if out_rows is not None:
+            out_rows[in_lru] = res
         if in_lfu.any():
             promoted_counts = lfu._freq[lfu_slots[in_lfu]] + 1
             lfu._remove_slots(lfu_slots[in_lfu])
@@ -1300,9 +1452,14 @@ class CombinedCache:
             lru._tick[rows] = tick_of[in_lfu]
             lru._pinned[rows] = False
             lru._index.install(
-                keys[in_lfu], rows, lru_hints[in_lfu], hashes[in_lfu]
+                keys[in_lfu],
+                rows,
+                lru_hints[in_lfu],
+                None if hashes is None else hashes[in_lfu],
             )
             self._counts[rows] = promoted_counts
+            if out_rows is not None:
+                out_rows[in_lfu] = rows
             if old_sel.size:
                 # Every promotion freed an LFU row before any demotion
                 # needed one, so the demotions can never flush.
@@ -1316,8 +1473,13 @@ class CombinedCache:
         *,
         pin: bool = False,
         assume_unique: bool = False,
+        assume_absent: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Insert many values; returns (flush_keys, flush_values).
+
+        ``assume_absent`` (implies ``assume_unique``) promises every key
+        is resident in neither tier — the prefetch miss stream is by
+        construction — and skips the LFU membership probe.
 
         Sequential-equivalent to per-key :meth:`put` calls in batch
         order.  Interleavings a single dense plan cannot reproduce
@@ -1340,16 +1502,22 @@ class CombinedCache:
                 flushed.extend(self.put(int(keys[i]), vals[i], pin=pin))
             return _as_pairs(flushed, self.value_dim)
         lru, lfu = self.lru, self.lfu
+        if assume_absent:
+            assume_unique = True
         prev_dup = None if assume_unique else _prev_occurrence(keys)
-        hashes = mix_hash(keys)
+        hashes = _batch_hashes(keys, lru._index, lfu._index)
         fk_parts: list[np.ndarray] = []
         fv_parts: list[np.ndarray] = []
         s, n = 0, keys.size
         while s < n:
             bound = _dup_bound(prev_dup, s, n)
             rem = keys[s:bound]
-            h = hashes[s:bound]
-            lfu_slots, in_lfu = lfu._index.get(rem, h)
+            h = None if hashes is None else hashes[s:bound]
+            if assume_absent:
+                lfu_slots = np.full(rem.size, -1, dtype=np.int64)
+                in_lfu = np.zeros(rem.size, dtype=bool)
+            else:
+                lfu_slots, in_lfu = lfu._index.get(rem, h)
             lru_rows, lru_res, lru_hints = lru._index.locate(rem, h)
             run, order = lru._admission_run_length(
                 inserts=~lru_res,
@@ -1382,7 +1550,7 @@ class CombinedCache:
                 in_lfu[:run],
                 (lru_rows[:run], lru_res[:run]),
                 lru_hints[:run],
-                h[:run],
+                None if h is None else h[:run],
                 order,
             )
             if fk.size:
@@ -1464,6 +1632,174 @@ class CombinedCache:
         """Pin resident keys (raises ``KeyError`` on absent ones)."""
         self.lru.pin_batch(keys)
 
+    def residency(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Non-mutating tier probe: ``(in_lru, in_lfu)`` masks.
+
+        A pure index lookup — no recency ticks, no hit/miss statistics,
+        no admission work.  The prefetch stage uses it to order a key
+        union tier-first before the mutating :meth:`get_batch` pass.
+        """
+        keys = as_keys(keys)
+        _, in_lru = self.lru._index.get(keys)
+        _, in_lfu = self.lfu._index.get(keys)
+        return in_lru, in_lfu
+
+    def prefetch_resolve(
+        self,
+        keys: np.ndarray,
+        prev_keys: np.ndarray | None = None,
+        prev_rows: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Tier-ordered one-pass resolve of a sorted-unique prefetch union.
+
+        Sequential-equivalent to replaying :meth:`get` over the union
+        ordered [LRU hits, LFU promotions, misses] — the access order the
+        prefetch stage commits to.  Each index is probed exactly once:
+
+        * the LRU segment is pure recency ticks on the already-located
+          slots (no insert can form, so no admission work);
+        * the LFU segment reuses the same probe state (still valid — the
+          tick segment mutates no index) and runs the admission engine;
+        * the miss segment only counts (lookups never insert).
+
+        Returns ``(hit, rows)`` in input order; ``rows[i]`` is the LRU
+        slab row of every resolved position (-1 for misses, installed
+        later by ``put_batch``).  Returns ``(hit, None)`` — caller must
+        re-resolve through the index — in non-bulk admission modes (the
+        per-key oracle and the legacy policy replay the identical
+        ordered sequence through :meth:`get_batch`) or if a promotion
+        storm cuts the LFU segment.
+
+        ``prev_keys``/``prev_rows`` (the previous round's resolved union)
+        let consecutive unions share their overlap: a key still sitting
+        in its old slab row — verified directly against the slab, the
+        source of truth the index mirrors — needs no probe at all, so
+        only the cross-round *delta* pays SlotIndex traffic.
+        """
+        keys = as_keys(keys)
+        n = keys.size
+        hit = np.zeros(n, dtype=bool)
+        if n == 0:
+            return hit, np.empty(0, dtype=np.int64)
+        lru, lfu = self.lru, self.lfu
+        if self._admission_mode() != "bulk":
+            hashes = mix_hash(keys)
+            _, in_lru, _ = lru._index.locate(keys, hashes)
+            _, in_lfu = lfu._index.get(keys, hashes)
+            tier = np.where(in_lru, 0, np.where(in_lfu, 1, 2))
+            order = np.argsort(tier, kind="stable")
+            _, ordered_hit = self.get_batch(keys[order], assume_unique=True)
+            hit[order] = ordered_hit
+            return hit, None
+        carried = np.zeros(n, dtype=bool)
+        carried_rows = np.empty(0, dtype=np.int64)
+        if (
+            prev_keys is not None
+            and prev_keys.size
+            and prev_rows is not None
+            and int(prev_rows.max(initial=-1)) < lru._keys.shape[0]
+        ):
+            pos = np.searchsorted(prev_keys, keys)
+            np.minimum(pos, prev_keys.size - 1, out=pos)
+            cand = prev_keys[pos] == keys
+            rows_cand = prev_rows[pos[cand]]
+            ok = lru._keys[rows_cand] == keys[cand]
+            carried[np.flatnonzero(cand)[ok]] = True
+            carried_rows = rows_cand[ok]
+        if carried.any():
+            sub = np.flatnonzero(~carried)
+            k_sub = keys[sub]
+            h_sub = _batch_hashes(k_sub, lru._index, lfu._index)
+            s_slots, s_in_lru, s_hints = lru._index.locate(k_sub, h_sub)
+            sf_slots, s_in_lfu = lfu._index.get(k_sub, h_sub)
+            in_lru = carried.copy()
+            in_lru[sub] = s_in_lru
+            lru_slots = np.empty(n, dtype=np.int64)
+            lru_slots[carried] = carried_rows
+            lru_slots[sub] = s_slots
+            in_lfu = np.zeros(n, dtype=bool)
+            in_lfu[sub] = s_in_lfu
+            lfu_slots = np.full(n, -1, dtype=np.int64)
+            lfu_slots[sub] = sf_slots
+            lru_hints = np.full(n, -1, dtype=np.int64)
+            lru_hints[sub] = s_hints
+            if h_sub is None:
+                hashes = None
+            else:
+                hashes = np.zeros(n, dtype=np.uint64)
+                hashes[sub] = h_sub
+        else:
+            hashes = _batch_hashes(keys, lru._index, lfu._index)
+            lru_slots, in_lru, lru_hints = lru._index.locate(keys, hashes)
+            lfu_slots, in_lfu = lfu._index.get(keys, hashes)
+        tier = np.where(in_lru, 0, np.where(in_lfu, 1, 2))
+        order = np.argsort(tier, kind="stable")
+        n0 = int(in_lru.sum())
+        n1 = int(in_lfu.sum())
+        n2 = n - n0 - n1
+        hit[in_lru] = True
+        hit[in_lfu] = True
+        rows = np.full(n, -1, dtype=np.int64)
+        # -- segment 1: LRU hits — ticks on known slots ----------------
+        if n0:
+            res = lru_slots[in_lru]
+            lru._tick[res] = lru._ticks(n0)
+            self._counts[res] += 1
+            rows[in_lru] = res
+            self.stats.hits += n0
+            self.stats.admission_runs += 1
+        # -- segment 2: LFU promotions — admission engine, probes reused
+        if n1:
+            run, evict_order = lru._admission_run_length(
+                inserts=in_lfu[in_lfu],
+                res_slots=np.full(n1, -1, dtype=np.int64),
+                blocked=None,
+                allow_spill=False,
+            )
+            if run < n1:
+                # A promotion storm cut the segment (impossible for a
+                # sorted-unique union whose LRU segment went first, but
+                # the engine — not this fast path — is the authority).
+                # Continue the identical ordered sequence through
+                # get_batch; the caller re-resolves rows by probe.
+                _, ordered_hit = self.get_batch(
+                    keys[order][n0:], assume_unique=True
+                )
+                hit[order[n0:]] = ordered_hit
+                return hit, None
+            scratch_v = np.empty((n1, self.value_dim), dtype=np.float32)
+            scratch_h = np.empty(n1, dtype=bool)
+            seg_rows = np.full(n1, -1, dtype=np.int64)
+            self._get_run(
+                keys[in_lfu],
+                scratch_v,
+                scratch_h,
+                lru_slots[in_lfu],
+                in_lru[in_lfu],
+                lfu_slots[in_lfu],
+                in_lfu[in_lfu],
+                lru_hints[in_lfu],
+                None if hashes is None else hashes[in_lfu],
+                evict_order,
+                out_rows=seg_rows,
+            )
+            rows[in_lfu] = seg_rows
+            self.stats.admission_runs += 1
+        # -- segment 3: misses — lookups never insert ------------------
+        if n2:
+            self.stats.misses += n2
+            self.stats.admission_runs += 1
+        return hit, rows
+
+    def pin_rows(self, rows: np.ndarray) -> None:
+        """Pin known-resident LRU slab rows.
+
+        The probe-free twin of :meth:`pin_batch` for callers whose row
+        identities came from the same call that resolved them
+        (:meth:`prefetch_resolve`).
+        """
+        self.lru._pinned[rows] = True
+
     def unpin_batch(self, keys: np.ndarray) -> None:
         self.lru.unpin_batch(keys)
 
@@ -1492,6 +1828,15 @@ class CombinedCache:
         rows were resolved by :meth:`resolve_pinned` while pinned.
         """
         self.lru._values[rows] = np.asarray(values, dtype=np.float32)
+
+    def values_at(self, rows: np.ndarray) -> np.ndarray:
+        """Read values at resolved LRU rows (no metadata changes).
+
+        Row-level face of :meth:`get_batch` for keys pinned and resolved
+        by :meth:`resolve_pinned` — a pure slab gather, touching neither
+        recency nor hit/miss statistics.
+        """
+        return self.lru._values[rows]
 
     def unpin_rows(self, rows: np.ndarray) -> None:
         """Release pins at resolved LRU rows (see :meth:`resolve_pinned`)."""
@@ -1618,8 +1963,8 @@ class CombinedCache:
                 "cache snapshot does not fit this cache's tier capacities"
             )
         oracle = self.force_scalar
-        self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim)
-        self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim)
+        self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim, key_domain=self.key_domain)
+        self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim, key_domain=self.key_domain)
         self.force_scalar = oracle
         self._counts = np.zeros(self.lru.capacity, dtype=np.int64)
         self._pending_flush = []
@@ -1654,8 +1999,8 @@ class CombinedCache:
                 axis=0,
             ).copy()
         oracle = self.force_scalar
-        self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim)
-        self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim)
+        self.lru = LRUCache(self.lru.capacity, value_dim=self.value_dim, key_domain=self.key_domain)
+        self.lfu = LFUCache(self.lfu.capacity, value_dim=self.value_dim, key_domain=self.key_domain)
         self.force_scalar = oracle
         self._counts = np.zeros(self.lru.capacity, dtype=np.int64)
         return keys, values

@@ -75,6 +75,7 @@ class MemPS:
         ledger: CostLedger | None = None,
         seed: int = 0,
         cache: CombinedCache | None = None,
+        key_domain: int | None = None,
     ) -> None:
         if not 0 <= node_id < n_nodes:
             raise ValueError("node_id out of range")
@@ -91,6 +92,7 @@ class MemPS:
             cache_capacity,
             lru_fraction=lru_fraction,
             value_dim=optimizer.value_dim,
+            key_domain=key_domain,
         )
         self._rng = spawn(seed, "mem_ps", node_id)
         #: per-key init seed — identical on every node so a key initializes
@@ -101,6 +103,15 @@ class MemPS:
         #: keys pinned on behalf of remote pulls this batch (released by
         #: :meth:`end_batch`).
         self._served_keys: list[np.ndarray] = []
+        #: the round's resolved :class:`~repro.plan.NodePrefetchPlan`
+        #: (set by :meth:`prefetch`, cleared by :meth:`end_batch`); while
+        #: set, the serve/update paths go through resolved LRU rows
+        #: instead of re-probing the cache.
+        self._prefetch_plan = None
+        #: previous round's resolved (union keys, LRU rows) — the probe
+        #: carry-over seed for the next :meth:`prefetch` (each carried
+        #: row is re-verified against the slab before reuse).
+        self._prev_union: tuple = (None, None)
 
     # ------------------------------------------------------------------
     def owner_of(self, keys: np.ndarray) -> np.ndarray:
@@ -188,29 +199,120 @@ class MemPS:
                 )
             values[miss_idx] = vals
             flush_k, flush_v = self.cache.put_batch(
-                miss_keys, vals, pin=pin, assume_unique=assume_unique
+                miss_keys,
+                vals,
+                pin=pin,
+                assume_unique=assume_unique,
+                # A unique key stream's misses are resident in neither
+                # tier (a get never inserts), so the LFU probe is moot.
+                assume_absent=assume_unique,
             )
             if flush_k.size:
                 seconds += self.ssd_ps.dump(flush_k, flush_v).total_seconds
         return values, seconds, int(hit.sum()), n_ssd, n_fresh
 
     def serve_remote(
-        self, keys: np.ndarray, *, pre_owned: bool = False
+        self,
+        keys: np.ndarray,
+        *,
+        pre_owned: bool = False,
+        requester: int | None = None,
     ) -> tuple[np.ndarray, float]:
         """Handle a pull request from a peer (keys are owned here).
 
         ``pre_owned=True`` skips the ownership re-hash — the caller's
         :class:`~repro.plan.NodePlan` partitioned the keys by owner
-        already (validated by the plan unit tests).
+        already (validated by the plan unit tests).  When this node ran
+        the prefetch stage this round and the caller identifies itself
+        via ``requester``, the served partition is already resolved,
+        loaded, and pinned — the pull is a pure row gather with no
+        device traffic and no extra pin (the prefetch pin covers it
+        until ``end_batch``).
         """
         keys = as_keys(keys)
         if not pre_owned and not np.all(self.owns(keys)):
             raise ValueError("serve_remote called with keys this node does not own")
+        pplan = self._prefetch_plan
+        if pplan is not None and requester is not None:
+            pos = pplan.serve_pos[requester]
+            assert np.array_equal(keys, pplan.keys[pos]), (
+                "prefetch plan and remote pull diverged"
+            )
+            return self.cache.values_at(pplan.rows[pos]), 0.0
         values, seconds, _, _, _ = self.fetch_local(
             keys, pin=True, assume_unique=pre_owned
         )
         self._served_keys.append(keys)
         return values, seconds
+
+    def prefetch(self, pplan) -> float:
+        """Resolve, load, and pin the round's full MEM working set.
+
+        ``pplan`` is the node's :class:`~repro.plan.NodePrefetchPlan`:
+        the sorted union of the local working partition, every partition
+        served to a peer, and the owner-queue keys of every sync round.
+        The whole set goes through cache → SSD → fresh-init exactly once
+        and stays pinned until :meth:`end_batch`; the resolved LRU rows
+        land on the plan, so every later MEM access this round is a pure
+        row gather (no SlotIndex probe, no admission work, no eviction
+        risk).  Returns simulated seconds (SSD loads plus overflow
+        dumps — the same charges the unprefetched path would pay, moved
+        earlier in the round).
+        """
+        keys = pplan.keys
+        adm_before = self._admission_snapshot()
+        seconds = 0.0
+        # Tier-ordered access: LRU hits first (pure recency ticks — no
+        # eviction can form), then LFU promotions (every LRU batch key
+        # is hot by now, so victims come from the non-batch cold tail),
+        # then misses.  The sorted union interleaves the tiers, which
+        # would force the admission engine to cut a run at every cold
+        # batch key the promotion storm reaches; ordered this way the
+        # whole union applies in O(1) collision-free runs — and the
+        # cache resolves it in a single probe pass, handing back the
+        # pinned rows directly.  The scalar oracle replays the identical
+        # sequence, so parity is untouched.  Consecutive rounds overlap
+        # heavily under a zipf head, so the previous union's resolved
+        # rows ride along: still-valid keys skip the probe entirely.
+        prev_k, prev_r = self._prev_union
+        hit, rows = self.cache.prefetch_resolve(keys, prev_k, prev_r)
+        pf_k, pf_v = self.cache.take_pending_flush()
+        if pf_k.size:
+            seconds += self.ssd_ps.dump(pf_k, pf_v).total_seconds
+        if rows is None:
+            self.cache.pin_batch(keys[hit])
+        else:
+            self.cache.pin_rows(rows[hit])
+        ssd_found = np.zeros(keys.size, dtype=bool)
+        miss_idx = np.flatnonzero(~hit)
+        if miss_idx.size:
+            miss_keys = keys[miss_idx]
+            result, stats = self.ssd_ps.load(miss_keys)
+            seconds += stats.total_seconds
+            ssd_found[miss_idx] = result.found
+            vals = result.values
+            fresh_idx = np.flatnonzero(~result.found)
+            if fresh_idx.size:
+                vals[fresh_idx] = self.optimizer.init_for_keys(
+                    miss_keys[fresh_idx], seed=self._init_seed
+                )
+            flush_k, flush_v = self.cache.put_batch(
+                miss_keys, vals, pin=True, assume_absent=True
+            )
+            if flush_k.size:
+                seconds += self.ssd_ps.dump(flush_k, flush_v).total_seconds
+        if rows is None:
+            pplan.rows = self.cache.resolve_pinned(keys)
+        else:
+            if miss_idx.size:
+                rows[miss_idx] = self.cache.resolve_pinned(keys[miss_idx])
+            pplan.rows = rows
+        self._prev_union = (keys, pplan.rows)
+        pplan.hit = hit
+        pplan.ssd_found = ssd_found
+        pplan.admission = self._admission_delta(adm_before)
+        self._prefetch_plan = pplan
+        return seconds
 
     def prepare(
         self, working_keys: np.ndarray, *, plan=None
@@ -238,25 +340,46 @@ class MemPS:
             part_of = lambda p: plan.node_parts[p]  # noqa: E731
         values = np.zeros((keys.size, self.optimizer.value_dim), dtype=np.float32)
 
-        masks: dict | None = {} if plan is not None else None
-        adm_before = self._admission_snapshot()
-        vals, t_local, n_hits, n_ssd, n_fresh = self.fetch_local(
-            keys[local_idx], out_masks=masks, assume_unique=plan is not None
-        )
-        values[local_idx] = vals
-        if plan is not None:
-            # Resolved once here; the write-back consumes these rows
-            # instead of re-probing the SlotIndex (every local working key
-            # is now a pinned LRU resident).  The admission record keeps
-            # how the cache split this prepare into bulk runs vs. scalar
-            # collision splits — the pressure-regime observability the
-            # e2e ledger and the zero-fallback acceptance gate read.
+        pplan = self._prefetch_plan if plan is not None else None
+        if pplan is not None:
+            # The prefetch stage already resolved, loaded, and pinned the
+            # local partition — a pure row gather, with the hit/SSD split
+            # and admission record replayed from the prefetch probe.
+            local_rows = pplan.rows[pplan.local_pos]
+            local_hits = pplan.hit[pplan.local_pos]
+            local_found = pplan.ssd_found[pplan.local_pos]
+            values[local_idx] = self.cache.values_at(local_rows)
             plan.record_prepare(
-                local_slots=self.cache.resolve_pinned(keys[local_idx]),
-                local_hits=masks["hit"],
-                ssd_found=masks["ssd_found"],
-                admission=self._admission_delta(adm_before),
+                local_slots=local_rows,
+                local_hits=local_hits,
+                ssd_found=local_found,
+                admission=pplan.admission,
             )
+            t_local = 0.0
+            n_hits = int(local_hits.sum())
+            n_ssd = int(local_found.sum())
+            n_fresh = local_idx.size - n_hits - n_ssd
+        else:
+            masks: dict | None = {} if plan is not None else None
+            adm_before = self._admission_snapshot()
+            vals, t_local, n_hits, n_ssd, n_fresh = self.fetch_local(
+                keys[local_idx], out_masks=masks, assume_unique=plan is not None
+            )
+            values[local_idx] = vals
+            if plan is not None:
+                # Resolved once here; the write-back consumes these rows
+                # instead of re-probing the SlotIndex (every local working
+                # key is now a pinned LRU resident).  The admission record
+                # keeps how the cache split this prepare into bulk runs vs.
+                # scalar collision splits — the pressure-regime
+                # observability the e2e ledger and the zero-fallback
+                # acceptance gate read.
+                plan.record_prepare(
+                    local_slots=self.cache.resolve_pinned(keys[local_idx]),
+                    local_hits=masks["hit"],
+                    ssd_found=masks["ssd_found"],
+                    admission=self._admission_delta(adm_before),
+                )
 
         t_remote = 0.0
         n_remote = 0
@@ -268,7 +391,9 @@ class MemPS:
                 continue
             peer = self.peers[peer_id]
             vals, t_serve = peer.serve_remote(
-                keys[idx], pre_owned=plan is not None
+                keys[idx],
+                pre_owned=plan is not None,
+                requester=self.node_id if plan is not None else None,
             )
             values[idx] = vals
             n_remote += idx.size
@@ -316,6 +441,11 @@ class MemPS:
             part = plan.local_idx
             vals_own = np.asarray(values, dtype=np.float32)[part]
             self.cache.update_rows(plan.local_slots, vals_own)
+            if self._prefetch_plan is not None:
+                # Rows stay pinned: end_batch releases the whole prefetch
+                # set in one row-level unpin (the local slots are a
+                # subset of its rows) and settles overflow then.
+                return seconds
             if unpin:
                 self.cache.unpin_rows(plan.local_slots)
                 fk, fv = self.cache.settle_overflow()
@@ -335,16 +465,32 @@ class MemPS:
         return seconds
 
     def apply_gradients(
-        self, keys: np.ndarray, grads: np.ndarray, *, pre_owned: bool = False
+        self,
+        keys: np.ndarray,
+        grads: np.ndarray,
+        *,
+        pre_owned: bool = False,
+        rows: np.ndarray | None = None,
     ) -> float:
         """Owner-side optimizer application for keys *not* staged in the
         local HBM (the update queue described in the module docstring of
         :mod:`repro.hbm.hbm_ps`).
 
         ``pre_owned=True`` skips the ownership filter — the caller (a
-        planned round) has already partitioned the keys by owner.
+        planned round) has already partitioned the keys by owner.  With
+        ``rows`` (the prefetch plan's resolved owner-queue rows), the
+        keys are pinned LRU residents and the optimizer applies through
+        a pure row gather/scatter — no cache probe, no admission work,
+        no eviction risk, no device traffic.
         """
         keys = as_keys(keys)
+        if rows is not None:
+            if keys.size == 0:
+                return 0.0
+            grads = np.asarray(grads, dtype=np.float64)
+            new_values = self.optimizer.apply(self.cache.values_at(rows), grads)
+            self.cache.update_rows(rows, new_values)
+            return 0.0
         if pre_owned:
             grads = np.asarray(grads, dtype=np.float64)
         else:
@@ -370,8 +516,18 @@ class MemPS:
         return t_fetch
 
     def end_batch(self) -> float:
-        """Release pins taken on behalf of remote pulls and settle overflow."""
+        """Release the round's pins and settle overflow.
+
+        In prefetch mode the whole resolved working set (local + served
+        + owner-queue rows) unpins in a single row-level release; the
+        unprefetched path only holds the remote-pull pins taken by
+        :meth:`serve_remote` here (local pins were released by
+        :meth:`absorb_updates`).
+        """
         seconds = 0.0
+        if self._prefetch_plan is not None:
+            self.cache.unpin_rows(self._prefetch_plan.rows)
+            self._prefetch_plan = None
         for keys in self._served_keys:
             self.cache.unpin_batch(keys)
         self._served_keys.clear()
@@ -395,9 +551,9 @@ class MemPS:
         released by :meth:`end_batch`, otherwise the cache snapshot would
         capture in-flight working-set state that a restore cannot honour.
         """
-        if self._served_keys:
+        if self._served_keys or self._prefetch_plan is not None:
             raise RuntimeError(
-                "MEM-PS still holds remote-pull pins — checkpoint only at "
+                "MEM-PS still holds in-flight pins — checkpoint only at "
                 "a round boundary (after end_batch)"
             )
         return self.cache.export_state()
@@ -406,3 +562,5 @@ class MemPS:
         """Restore the MEM tier from an :meth:`export_state` snapshot."""
         self.cache.load_state(state)
         self._served_keys.clear()
+        self._prefetch_plan = None
+        self._prev_union = (None, None)

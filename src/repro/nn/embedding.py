@@ -19,6 +19,22 @@ from repro.utils.keys import as_keys
 __all__ = ["EmbeddingLayer", "EmbeddingGradient"]
 
 
+def _scatter_add(
+    idx: np.ndarray, vals: np.ndarray, n_bins: int, dim: int
+) -> np.ndarray:
+    """``out[idx[i]] += vals[i]`` via one :func:`numpy.bincount` per column.
+
+    Bit-identical to ``np.add.at(out, idx, vals)``: both accumulate
+    sequentially in input order, so every bin sees the same additions in
+    the same order and rounds identically — ``bincount`` just does it
+    without the per-element buffered-ufunc dispatch.
+    """
+    out = np.empty((n_bins, dim), dtype=np.float64)
+    for d in range(dim):
+        out[:, d] = np.bincount(idx, weights=vals[:, d], minlength=n_bins)
+    return out
+
+
 @dataclass(frozen=True)
 class EmbeddingGradient:
     """Sparse gradient: one row of ``grads`` per key in ``keys``."""
@@ -49,6 +65,7 @@ class EmbeddingLayer:
         self.n_slots = n_slots
         self.dim = dim
         self._cache: tuple | None = None
+        self._pos_cache: dict[tuple[int, int], tuple] = {}
 
     @property
     def out_dim(self) -> int:
@@ -63,6 +80,20 @@ class EmbeddingLayer:
         ``L`` is ``j // (L / n_slots)``.
         """
         lengths = batch.row_lengths()
+        if lengths.size and lengths.min() == lengths.max():
+            # Uniform rows (the generator's layout): the position maps
+            # depend only on the shape, so memoize them per (rows, nnz).
+            sig = (batch.n_examples, batch.n_nonzeros)
+            cached = self._pos_cache.get(sig)
+            if cached is None:
+                cached = self._positions_uncached(batch, lengths)
+                self._pos_cache[sig] = cached
+            return cached
+        return self._positions_uncached(batch, lengths)
+
+    def _positions_uncached(
+        self, batch: Batch, lengths: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         if np.any(lengths % self.n_slots):
             raise ValueError(
                 "every example's nonzero count must be divisible by n_slots"
@@ -76,7 +107,12 @@ class EmbeddingLayer:
         return rows, slots.astype(np.int64), batch.n_examples
 
     def forward(
-        self, batch: Batch, unique_keys: np.ndarray, emb_values: np.ndarray
+        self,
+        batch: Batch,
+        unique_keys: np.ndarray,
+        emb_values: np.ndarray,
+        *,
+        flat_idx: np.ndarray | None = None,
     ) -> np.ndarray:
         """Pooled embedding features, shape ``(n_examples, n_slots * dim)``.
 
@@ -88,19 +124,24 @@ class EmbeddingLayer:
             **Sorted** unique keys covering every key in ``batch``.
         emb_values:
             ``(len(unique_keys), dim)`` embedding table rows.
+        flat_idx:
+            Optional precomputed positions of ``batch.keys`` inside
+            ``unique_keys`` (the plan builder's ``MinibatchPlan.emb_idx``);
+            skips the per-minibatch ``searchsorted`` and its validation.
         """
         unique_keys = as_keys(unique_keys)
         if emb_values.shape != (unique_keys.size, self.dim):
             raise ValueError("emb_values shape mismatch")
-        flat_idx = np.searchsorted(unique_keys, batch.keys)
-        if flat_idx.size and (
-            flat_idx.max() >= unique_keys.size
-            or np.any(unique_keys[flat_idx] != batch.keys)
-        ):
-            raise KeyError("batch references keys missing from unique_keys")
+        if flat_idx is None:
+            flat_idx = np.searchsorted(unique_keys, batch.keys)
+            if flat_idx.size and (
+                flat_idx.max() >= unique_keys.size
+                or np.any(unique_keys[flat_idx] != batch.keys)
+            ):
+                raise KeyError("batch references keys missing from unique_keys")
         rows, slots, n = self._slot_of_positions(batch)
-        out = np.zeros((n, self.n_slots, self.dim), dtype=np.float64)
-        np.add.at(out, (rows, slots), emb_values[flat_idx])
+        comp = rows * self.n_slots + slots
+        out = _scatter_add(comp, emb_values[flat_idx], n * self.n_slots, self.dim)
         self._cache = (flat_idx, rows, slots, unique_keys.size)
         return out.reshape(n, self.out_dim)
 
@@ -114,6 +155,5 @@ class EmbeddingLayer:
         if n_unique != unique_keys.shape[0]:
             raise ValueError("unique_keys changed between forward and backward")
         g3 = grad_features.reshape(-1, self.n_slots, self.dim)
-        grads = np.zeros((n_unique, self.dim), dtype=np.float64)
-        np.add.at(grads, flat_idx, g3[rows, slots])
+        grads = _scatter_add(flat_idx, g3[rows, slots], n_unique, self.dim)
         return EmbeddingGradient(as_keys(unique_keys), grads)

@@ -47,10 +47,17 @@ class CTRModel:
 
     # ------------------------------------------------------------------
     def forward(
-        self, batch: Batch, unique_keys: np.ndarray, emb_values: np.ndarray
+        self,
+        batch: Batch,
+        unique_keys: np.ndarray,
+        emb_values: np.ndarray,
+        *,
+        flat_idx: np.ndarray | None = None,
     ) -> np.ndarray:
         """Logits for ``batch``."""
-        feats = self.embedding.forward(batch, unique_keys, emb_values)
+        feats = self.embedding.forward(
+            batch, unique_keys, emb_values, flat_idx=flat_idx
+        )
         return self.mlp.forward(feats)
 
     def predict_proba(
@@ -60,7 +67,12 @@ class CTRModel:
         return sigmoid(self.forward(batch, unique_keys, emb_values))
 
     def train_minibatch(
-        self, batch: Batch, unique_keys: np.ndarray, emb_values: np.ndarray
+        self,
+        batch: Batch,
+        unique_keys: np.ndarray,
+        emb_values: np.ndarray,
+        *,
+        flat_idx: np.ndarray | None = None,
     ) -> MinibatchResult:
         """One forward/backward pass.
 
@@ -68,7 +80,7 @@ class CTRModel:
         ``self.mlp.gradients()``); the sparse gradient is returned for the
         HBM-PS push.
         """
-        logits = self.forward(batch, unique_keys, emb_values)
+        logits = self.forward(batch, unique_keys, emb_values, flat_idx=flat_idx)
         loss, probs, grad_logit = bce_with_logits(logits, batch.labels)
         grad_feats = self.mlp.backward(grad_logit)
         sparse_grad = self.embedding.backward(grad_feats, unique_keys)

@@ -14,6 +14,7 @@ from repro.plan.batch_plan import (
     AdmissionRecord,
     MinibatchPlan,
     NodePlan,
+    NodePrefetchPlan,
     NodeSyncPlan,
     RoundPlan,
     SyncPlan,
@@ -25,6 +26,7 @@ __all__ = [
     "AdmissionRecord",
     "MinibatchPlan",
     "NodePlan",
+    "NodePrefetchPlan",
     "NodeSyncPlan",
     "RoundPlan",
     "SyncPlan",

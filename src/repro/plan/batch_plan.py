@@ -38,12 +38,13 @@ import numpy as np
 
 from repro.data.batching import Batch
 from repro.hbm.partition import ModuloPartitioner, bucket_order
-from repro.utils.keys import KEY_DTYPE
+from repro.utils.keys import KEY_DTYPE, compact_unique
 
 __all__ = [
     "AdmissionRecord",
     "MinibatchPlan",
     "NodePlan",
+    "NodePrefetchPlan",
     "NodeSyncPlan",
     "SyncPlan",
     "RoundPlan",
@@ -91,6 +92,47 @@ def _positions_in(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
     return np.searchsorted(sorted_keys, queries)
 
 
+#: Largest key domain the plan builder direct-addresses (mirrors the
+#: store index's :data:`~repro.store.slot_index.DENSE_DOMAIN_CAP`).
+_DENSE_POS_CAP = 1 << 22
+
+
+def _key_lookup(sorted_keys: np.ndarray):
+    """``(positions_fn, membership_fn)`` over a sorted-unique key set.
+
+    For a compact key domain (max key below :data:`_DENSE_POS_CAP`) one
+    scatter of each key's rank into a dense array turns every lookup into
+    a single gather; otherwise both functions fall back to the
+    ``searchsorted`` forms.  ``positions_fn`` requires member queries
+    (the :func:`_positions_in` contract); ``membership_fn`` returns
+    ``(mask, positions)`` with positions meaningful under the mask.
+    """
+    n = sorted_keys.size
+    if n and int(sorted_keys[-1]) < _DENSE_POS_CAP:
+        rank = np.full(int(sorted_keys[-1]) + 1, -1, dtype=np.int64)
+        rank[sorted_keys.astype(np.int64)] = np.arange(n, dtype=np.int64)
+
+        def pos_fn(q: np.ndarray) -> np.ndarray:
+            return rank[q.astype(np.int64)]
+
+        def mem_fn(q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            qi = q.astype(np.int64)
+            ok = qi < rank.size
+            p = rank[np.where(ok, qi, 0)]
+            mask = ok & (p >= 0)
+            return mask, np.where(mask, p, 0)
+
+        return pos_fn, mem_fn
+
+    def pos_fn(q: np.ndarray) -> np.ndarray:
+        return np.searchsorted(sorted_keys, q)
+
+    def mem_fn(q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return _membership(sorted_keys, q)
+
+    return pos_fn, mem_fn
+
+
 def _membership(
     sorted_keys: np.ndarray, queries: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -121,6 +163,11 @@ class MinibatchPlan:
     gpu_counts: np.ndarray
     #: size of the node's sync-round key union (gradient-buffer height)
     sync_size: int
+    #: positions of the shard's *flat* (per-example) keys inside
+    #: :attr:`keys` — the embedding layer's gather index, precomputed so
+    #: the worker skips a per-minibatch ``searchsorted`` (None when the
+    #: plan builder did not materialize it)
+    emb_idx: np.ndarray | None = None
 
 
 @dataclass
@@ -207,12 +254,52 @@ class NodePlan:
 
 
 @dataclass
+class NodePrefetchPlan:
+    """One node's MEM-tier prefetch set for a round.
+
+    :attr:`keys` is the sorted union of every key the node's MEM-PS will
+    touch this round: its local working partition, the partitions it
+    serves to each peer, and the owner-queue keys of every sync round
+    (the ``missing_own_idx`` application path).  The prefetch stage
+    resolves this set against the cache exactly once — cache probe, SSD
+    load, fresh-init, pin — and records the LRU rows; every later MEM
+    access this round is a pure row gather through the ``*_pos``
+    segments below (each a :func:`numpy.searchsorted` into :attr:`keys`,
+    precomputed at plan-build time).
+    """
+
+    #: sorted unique union of every key the node's MEM tier touches
+    keys: np.ndarray
+    #: positions in :attr:`keys` of the node's local working partition
+    local_pos: np.ndarray
+    #: per peer node ``p``, positions in :attr:`keys` of the partition
+    #: served to ``p`` (the node's own entry is empty)
+    serve_pos: list[np.ndarray]
+    #: per sync round ``m``, positions in :attr:`keys` of the owner-queue
+    #: keys (``SyncPlan.keys[missing_own_idx]``)
+    update_pos: list[np.ndarray]
+    # -- filled in by the prefetch stage -------------------------------
+    #: LRU slab rows of the pinned prefetched keys (stable until the
+    #: round's ``end_batch`` unpins them)
+    rows: np.ndarray | None = None
+    #: cache hit mask over :attr:`keys`
+    hit: np.ndarray | None = None
+    #: which of the misses the SSD resolved (the rest fresh-initialized)
+    ssd_found: np.ndarray | None = None
+    #: how the cache admitted the prefetch batch (bulk runs vs. splits)
+    admission: AdmissionRecord | None = None
+
+
+@dataclass
 class RoundPlan:
     """The complete per-round key plan, shared by every tier."""
 
     nodes: list[NodePlan]
     #: one :class:`SyncPlan` per mini-batch round
     sync: list[SyncPlan] = field(default_factory=list)
+    #: one :class:`NodePrefetchPlan` per node when the cluster runs with
+    #: the prefetch stage (None otherwise)
+    prefetch: list[NodePrefetchPlan] | None = None
 
     @property
     def n_working_keys(self) -> int:
@@ -226,34 +313,69 @@ def build_round_plan(
     gpu_partitioner: ModuloPartitioner,
     n_gpus: int,
     mb_rounds: int,
+    prefetch: bool = False,
 ) -> RoundPlan:
     """Compute the round's full key plan from its batches.
 
     ``batches[i]`` is node ``i``'s global batch; partitioners are the
-    cluster's shared MEM-tier (node) and HBM-tier (GPU) policies.
+    cluster's shared MEM-tier (node) and HBM-tier (GPU) policies.  With
+    ``prefetch=True`` the plan also carries one
+    :class:`NodePrefetchPlan` per node — the union of every key that
+    node's MEM tier will touch, with gather segments for each consumer.
     """
     n_nodes = len(batches)
     node_plans: list[NodePlan] = []
     # Per (node, m): positions of the sync-round key union inside the
     # node's working set — reused to build the cross-node sync plans.
     m_union_work_idx: list[list[np.ndarray]] = []
+    # Per-node (positions, membership) lookups over the working sets —
+    # built once and reused by the shard split and the sync-plan pass.
+    work_lookups: list[tuple] = []
     for i, batch in enumerate(batches):
         working = batch.unique_keys()
+        work_pos, work_mem = _key_lookup(working)
+        work_lookups.append((work_pos, work_mem))
         node_parts = group_indices(node_partitioner.part_of(working), n_nodes)
         gpu_of = gpu_partitioner.part_of(working)
         gpu_parts = group_indices(gpu_of, n_gpus)
         shards = batch.shard(n_gpus * mb_rounds)
-        shard_keys = [s.unique_keys() for s in shards]
-        shard_work_idx = [_positions_in(working, k) for k in shard_keys]
+        # Shard uniques by membership against the already-sorted working
+        # set (one searchsorted + mask per shard) instead of a fresh
+        # O(n log n) ``np.unique`` per shard; the result is identical by
+        # construction (every shard key is a working key).
+        shard_keys: list[np.ndarray] = []
+        shard_work_idx: list[np.ndarray] = []
+        shard_emb_idx: list[np.ndarray] = []
+        member = np.zeros(working.size, dtype=bool)
+        # Scratch rank map working-position -> shard-unique position; safe
+        # to reuse across shards because each shard only reads positions
+        # it just wrote (its flat keys are a subset of its unique keys).
+        rank = np.empty(working.size, dtype=np.int64)
+        for s in shards:
+            pos = work_pos(s.keys)
+            member[pos] = True
+            widx = np.flatnonzero(member)
+            member[widx] = False
+            shard_work_idx.append(widx)
+            k = working[widx]
+            shard_keys.append(k)
+            s._unique = k  # seed the batch memo: same set, same order
+            rank[widx] = np.arange(widx.size, dtype=np.int64)
+            shard_emb_idx.append(rank[pos])
         unions: list[np.ndarray] = []
         minibatches: list[MinibatchPlan] = []
         for m in range(mb_rounds):
             idx_group = shard_work_idx[m * n_gpus : (m + 1) * n_gpus]
-            union_idx = (
-                np.unique(np.concatenate(idx_group))
-                if any(ix.size for ix in idx_group)
-                else np.empty(0, dtype=np.int64)
-            )
+            if mb_rounds == 1:
+                # Single sync round: every working key appears in some
+                # shard, so the union is the whole working set.
+                union_idx = np.arange(working.size, dtype=np.int64)
+            else:
+                union_idx = (
+                    np.unique(np.concatenate(idx_group))
+                    if any(ix.size for ix in idx_group)
+                    else np.empty(0, dtype=np.int64)
+                )
             unions.append(union_idx)
             for g in range(n_gpus):
                 widx = idx_group[g]
@@ -261,11 +383,16 @@ def build_round_plan(
                     MinibatchPlan(
                         keys=shard_keys[m * n_gpus + g],
                         work_idx=widx,
-                        sync_idx=_positions_in(union_idx, widx),
+                        # Single sync round: union_idx is the identity,
+                        # so each work index is its own sync position.
+                        sync_idx=widx
+                        if mb_rounds == 1
+                        else _positions_in(union_idx, widx),
                         gpu_counts=np.bincount(
                             gpu_of[widx], minlength=n_gpus
                         ),
                         sync_size=int(union_idx.size),
+                        emb_idx=shard_emb_idx[m * n_gpus + g],
                     )
                 )
         m_union_work_idx.append(unions)
@@ -288,14 +415,14 @@ def build_round_plan(
         ]
         non_empty = [k for k in node_keys if k.size]
         global_keys = (
-            np.unique(np.concatenate(non_empty))
+            compact_unique(np.concatenate(non_empty))
             if non_empty
             else np.empty(0, dtype=KEY_DTYPE)
         )
         owner_of_global = node_partitioner.part_of(global_keys)
         per_node: list[NodeSyncPlan] = []
         for i, plan in enumerate(node_plans):
-            resident, pos = _membership(plan.keys, global_keys)
+            resident, pos = work_lookups[i][1](global_keys)
             resident_idx = np.flatnonzero(resident)
             resident_work_idx = pos[resident]
             missing_idx = np.flatnonzero(~resident)
@@ -314,4 +441,49 @@ def build_round_plan(
                 )
             )
         sync_plans.append(SyncPlan(keys=global_keys, nodes=per_node))
-    return RoundPlan(nodes=node_plans, sync=sync_plans)
+
+    prefetch_plans: list[NodePrefetchPlan] | None = None
+    if prefetch:
+        prefetch_plans = []
+        base_pos = (
+            _key_lookup(sync_plans[0].keys)[0] if mb_rounds == 1 else None
+        )
+        for i, plan in enumerate(node_plans):
+            # Every constituent is sorted unique by construction; the
+            # union only needs the cross-part dedup.
+            local_keys = plan.keys[plan.node_parts[i]]
+            serve_keys = [
+                node_plans[p].keys[node_plans[p].node_parts[i]]
+                if p != i
+                else np.empty(0, dtype=KEY_DTYPE)
+                for p in range(n_nodes)
+            ]
+            update_keys = [
+                sp.keys[sp.nodes[i].missing_own_idx] for sp in sync_plans
+            ]
+            parts = [k for k in (local_keys, *serve_keys, *update_keys) if k.size]
+            if mb_rounds == 1 and parts:
+                # Single sync round: every part is a subset of that
+                # round's global key set (each node contributes its full
+                # working set, and the owner queue is drawn from the
+                # global set itself), so the union is a membership mask
+                # over it — no sort needed.
+                base = sync_plans[0].keys
+                member = np.zeros(base.size, dtype=bool)
+                for k in parts:
+                    member[base_pos(k)] = True
+                union = base[np.flatnonzero(member)]
+            elif parts:
+                union = compact_unique(np.concatenate(parts))
+            else:
+                union = np.empty(0, dtype=KEY_DTYPE)
+            union_pos = _key_lookup(union)[0]
+            prefetch_plans.append(
+                NodePrefetchPlan(
+                    keys=union,
+                    local_pos=union_pos(local_keys),
+                    serve_pos=[union_pos(k) for k in serve_keys],
+                    update_pos=[union_pos(k) for k in update_keys],
+                )
+            )
+    return RoundPlan(nodes=node_plans, sync=sync_plans, prefetch=prefetch_plans)

@@ -48,6 +48,8 @@ class SSDPS:
         stale_fraction: float = 0.5,
         directory: str | None = None,
         ledger: CostLedger | None = None,
+        extent_cache_files: int = 0,
+        key_domain: int | None = None,
     ) -> None:
         self.ledger = ledger if ledger is not None else CostLedger()
         self.store = FileStore(
@@ -56,6 +58,8 @@ class SSDPS:
             ssd_spec=ssd_spec,
             directory=directory,
             ledger=self.ledger,
+            extent_cache_files=extent_cache_files,
+            key_domain=key_domain,
         )
         self.compactor = Compactor(
             self.store,
@@ -64,6 +68,9 @@ class SSDPS:
         )
         self.load_seconds = 0.0
         self.dump_seconds = 0.0
+        #: reads served from the cross-round extent cache (free on the
+        #: simulated clock; see :class:`~repro.ssd.extent_cache.FileHandleCache`)
+        self.extent_cache_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -75,9 +82,18 @@ class SSDPS:
         return self.store.n_live_params
 
     def load(self, keys: np.ndarray) -> tuple[ReadResult, SSDBatchStats]:
-        """Read values for ``keys`` (never-seen keys return found=False)."""
+        """Read values for ``keys`` (never-seen keys return found=False).
+
+        Extent-cache hits are accounted exactly once, here: the store's
+        :class:`~repro.ssd.file_store.ReadResult` already excludes hit
+        files from its charged ``seconds``, so this facade must only
+        accumulate the result — never re-price the read — and every
+        protocol face (:meth:`get_batch`, :meth:`transform`) goes through
+        this method so a cache hit can never be double-charged.
+        """
         result = self.store.read(keys)
         self.load_seconds += result.seconds
+        self.extent_cache_hits += result.cache_hits
         return result, SSDBatchStats(result.seconds)
 
     def dump(self, keys: np.ndarray, values: np.ndarray) -> SSDBatchStats:
@@ -108,7 +124,13 @@ class SSDPS:
         )
 
     def contains(self, keys: np.ndarray) -> np.ndarray:
-        """Materialized-on-SSD mask (no I/O charged — mapping lookup)."""
+        """Materialized-on-SSD mask (no I/O charged — mapping lookup).
+
+        Consistent with :meth:`load` under the extent cache: membership
+        comes from the mapping alone, so a key whose file happens to be
+        cache-resident answers identically to one whose file is not —
+        and neither touches the device or the hit counters.
+        """
         return self.store.mapping_of(keys) >= 0
 
     def transform(self, keys: np.ndarray, fn) -> float:
@@ -162,6 +184,7 @@ class SSDPS:
         out["load_seconds"] = np.float64(self.load_seconds)
         out["dump_seconds"] = np.float64(self.dump_seconds)
         out["total_compactions"] = np.int64(self.compactor.total_compactions)
+        out["extent_cache_hits"] = np.int64(self.extent_cache_hits)
         return out
 
     def load_state(self, state: dict[str, np.ndarray]) -> None:
@@ -170,3 +193,4 @@ class SSDPS:
         self.load_seconds = float(state["load_seconds"])
         self.dump_seconds = float(state["dump_seconds"])
         self.compactor.total_compactions = int(state["total_compactions"])
+        self.extent_cache_hits = int(state.get("extent_cache_hits", 0))

@@ -257,7 +257,10 @@ class DictCombinedCache:
         *,
         pin: bool = False,
         assume_unique: bool = False,
+        assume_absent: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
+        # Both assume_* flags are caller promises that license skipping
+        # work; the per-key reference has no work to skip.
         keys = as_keys(keys)
         values = np.asarray(values, dtype=np.float32)
         if values.shape != (keys.size, self.value_dim):

@@ -31,6 +31,12 @@ __all__ = ["SlotIndex"]
 _EMPTY = int(EMPTY_KEY)
 _TOMB = int(TOMBSTONE_KEY)
 
+#: Largest key domain served direct-addressed: one int64 payload per
+#: possible key (32 MiB at the cap).  Compact id spaces — the functional
+#: models address ``[0, n_sparse)`` directly — skip hashing and probing
+#: entirely; anything larger (or un-hinted) open-addresses as before.
+DENSE_DOMAIN_CAP = 1 << 22
+
 
 class SlotIndex:
     """Open-addressing ``uint64 -> int64`` map over preallocated arrays.
@@ -39,12 +45,25 @@ class SlotIndex:
     file id for the SSD mapping).  ``-1`` is returned for absent keys.
     """
 
-    def __init__(self, capacity_hint: int = 16, *, load_factor: float = 0.5):
+    def __init__(
+        self,
+        capacity_hint: int = 16,
+        *,
+        load_factor: float = 0.5,
+        key_domain: int | None = None,
+    ):
         if not 0.0 < load_factor < 1.0:
             raise ValueError("load_factor must be in (0, 1)")
         self._load_factor = load_factor
+        #: direct-address payload array when the caller promises keys in
+        #: ``[0, key_domain)`` with a domain small enough to materialize.
+        #: The promise is advisory: the first out-of-domain key migrates
+        #: the live entries into the probing table and stays there.
+        self._dense: np.ndarray | None = None
+        if key_domain is not None and 0 < key_domain <= DENSE_DOMAIN_CAP:
+            self._dense = np.full(int(key_domain), -1, dtype=np.int64)
         n = 16
-        while n * load_factor < max(1, capacity_hint):
+        while n * load_factor < max(1, capacity_hint if self._dense is None else 1):
             n *= 2
         self._alloc(n)
 
@@ -61,6 +80,17 @@ class SlotIndex:
 
     def __len__(self) -> int:
         return self.n_live
+
+    @property
+    def hash_free(self) -> bool:
+        """True while the index is direct-addressed (no probing).
+
+        Callers that precompute ``mix_hash`` to share it across several
+        index operations can skip the hash entirely when this is set;
+        every method accepts ``hashes=None`` and, should the index escape
+        to open addressing mid-operation, computes the hash itself.
+        """
+        return self._dense is not None
 
     # ------------------------------------------------------------------
     def _base(
@@ -81,6 +111,26 @@ class SlotIndex:
         self._alloc(n)
         if keys.size:
             self.set(keys, vals, _grow_checked=True)
+
+    def _escape_dense(self) -> None:
+        """Leave direct-address mode: migrate live entries to probing."""
+        dense = self._dense
+        assert dense is not None
+        idx = np.flatnonzero(dense >= 0)
+        vals = dense[idx]
+        self._dense = None
+        self.n_live = 0
+        if idx.size:
+            self.set(idx.astype(KEY_DTYPE), vals)
+
+    def _dense_ok(self, keys: np.ndarray) -> bool:
+        """True while direct addressing covers ``keys`` (may migrate)."""
+        if self._dense is None:
+            return False
+        if keys.size and int(keys.max()) >= self._dense.size:
+            self._escape_dense()
+            return False
+        return True
 
     # ------------------------------------------------------------------
     def get(
@@ -106,10 +156,16 @@ class SlotIndex:
         """
         keys = as_keys(keys)
         n = keys.size
+        if n == 0:
+            out = np.full(n, -1, dtype=np.int64)
+            found = np.zeros(n, dtype=bool)
+            return out, found, np.empty(0, dtype=np.int64) if want_slots else None
+        if self._dense_ok(keys):
+            idx = keys.astype(np.int64)
+            out = self._dense[idx]
+            return out, out >= 0, idx if want_slots else None
         out = np.full(n, -1, dtype=np.int64)
         found = np.zeros(n, dtype=bool)
-        if n == 0:
-            return out, found, np.empty(0, dtype=np.int64) if want_slots else None
         if self.n_live == 0 and self._n_dead == 0:
             # Empty table: every base slot is a valid insertion hint.
             slots = (
@@ -154,11 +210,20 @@ class SlotIndex:
         n = keys.size
         if n == 0:
             return
-        if (self.n_live + self._n_dead + n) * 2 >= self._n_slots:
-            # Growth would remap every hint; take the general path.
-            self.set(keys, payloads, hashes)
+        if self._dense_ok(keys):
+            self._dense[keys.astype(np.int64)] = payloads
+            self.n_live += n
             return
         fslots = np.asarray(probe_slots, dtype=np.int64)
+        if fslots.size and int(fslots.max()) >= self._n_slots:
+            # Hints minted under a different table geometry (a dense
+            # migration landed between locate and install): re-probe.
+            self.insert_absent(keys, payloads, hashes)
+            return
+        if (self.n_live + self._n_dead + n) * 2 >= self._n_slots:
+            # Growth would remap every hint; take the probing path.
+            self.insert_absent(keys, payloads, hashes)
+            return
         ok = self._hkeys[fslots] == EMPTY_KEY
         cand = np.flatnonzero(ok)
         winners = cand
@@ -175,11 +240,66 @@ class SlotIndex:
         if winners.size != n:
             lost = np.ones(n, dtype=bool)
             lost[winners] = False
-            self.set(
+            self.insert_absent(
                 keys[lost],
                 payloads[lost],
                 hashes[lost] if hashes is not None else None,
             )
+
+    def insert_absent(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        hashes: np.ndarray | None = None,
+    ) -> None:
+        """Insert unique ``keys`` the caller guarantees are absent.
+
+        Skips match probing entirely: each key claims the first vacant
+        (tombstone or empty) slot on its probe path — the same slot
+        :meth:`set` would pick — and races resolve first-wins with losers
+        probing onward, so the layout matches the upsert path while the
+        per-round work drops to a single occupancy test.
+        """
+        keys = as_keys(keys)
+        payloads = np.asarray(payloads, dtype=np.int64)
+        if payloads.shape != (keys.size,):
+            raise ValueError("payloads shape mismatch")
+        n = keys.size
+        if n == 0:
+            return
+        if self._dense_ok(keys):
+            self._dense[keys.astype(np.int64)] = payloads
+            self.n_live += n
+            return
+        if keys.max() >= TOMBSTONE_KEY:
+            raise ValueError("keys >= 2**64 - 2 are reserved sentinels")
+        self._maybe_grow(n)
+        base = self._base(keys, hashes)
+        pending = np.arange(n)
+        offset = np.uint64(0)
+        while pending.size:
+            s = (base[pending] + offset) & self._mask
+            occupant = self._hkeys[s]
+            vacant = (occupant == EMPTY_KEY) | (occupant == TOMBSTONE_KEY)
+            cand = np.flatnonzero(vacant)
+            if cand.size:
+                fs = s[cand]
+                order = np.arange(cand.size, dtype=np.int64)
+                self._scratch[fs[::-1]] = order[::-1]
+                win = self._scratch[fs] == order
+                self._scratch[fs] = -1
+                ws = fs[win]
+                self._n_dead -= int(np.sum(self._hkeys[ws] == TOMBSTONE_KEY))
+                widx = pending[cand[win]]
+                self._hkeys[ws] = keys[widx]
+                self._hvals[ws] = payloads[widx]
+                self.n_live += ws.size
+                done = np.zeros(pending.size, dtype=bool)
+                done[cand[win]] = True
+                pending = pending[~done]
+            offset += np.uint64(1)
+            if int(offset) > self._n_slots:
+                raise RuntimeError("index probe loop exceeded table size")
 
     def set(
         self,
@@ -204,6 +324,13 @@ class SlotIndex:
         old = np.full(n, -1, dtype=np.int64)
         existed = np.zeros(n, dtype=bool)
         if n == 0:
+            return old, existed
+        if self._dense_ok(keys):
+            idx = keys.astype(np.int64)
+            old = self._dense[idx]
+            existed = old >= 0
+            self._dense[idx] = payloads
+            self.n_live += n - int(existed.sum())
             return old, existed
         if keys.max() >= TOMBSTONE_KEY:
             raise ValueError("keys >= 2**64 - 2 are reserved sentinels")
@@ -344,6 +471,20 @@ class SlotIndex:
         existed = np.zeros(n, dtype=bool)
         if n == 0:
             return old, existed
+        if self._dense_ok(keys):
+            idx = keys.astype(np.int64)
+            old = self._dense[idx]
+            existed = old >= 0
+            if n > 1:
+                # Duplicate keys: only the first occurrence sees the live
+                # entry (the probe path tombstones it for the rest).
+                order = np.arange(n, dtype=np.int64)
+                self._dense[idx[::-1]] = order[::-1]
+                existed &= self._dense[idx] == order
+                old[~existed] = -1
+            self._dense[idx] = -1
+            self.n_live -= int(existed.sum())
+            return old, existed
         base = self._base(keys)
         pending = np.arange(n)
         offset = np.uint64(0)
@@ -389,6 +530,11 @@ class SlotIndex:
 
     def get1(self, key: int) -> int:
         """Payload for a single key, or -1."""
+        dense = self._dense
+        if dense is not None:
+            if key < dense.size:
+                return int(dense[key])
+            self._escape_dense()
         s, _ = self._probe1(key)
         return int(self._hvals[s]) if s >= 0 else -1
 
@@ -396,6 +542,15 @@ class SlotIndex:
         """Upsert a single key; returns the old payload or -1."""
         if key >= _TOMB:
             raise ValueError("keys >= 2**64 - 2 are reserved sentinels")
+        dense = self._dense
+        if dense is not None:
+            if key < dense.size:
+                old = int(dense[key])
+                dense[key] = payload
+                if old < 0:
+                    self.n_live += 1
+                return old
+            self._escape_dense()
         self._maybe_grow(1)
         s, free = self._probe1(key)
         if s >= 0:
@@ -411,6 +566,15 @@ class SlotIndex:
 
     def remove1(self, key: int) -> int:
         """Delete a single key; returns the old payload or -1."""
+        dense = self._dense
+        if dense is not None:
+            if key < dense.size:
+                old = int(dense[key])
+                if old >= 0:
+                    dense[key] = -1
+                    self.n_live -= 1
+                return old
+            self._escape_dense()
         s, _ = self._probe1(key)
         if s < 0:
             return -1
@@ -424,10 +588,15 @@ class SlotIndex:
     # ------------------------------------------------------------------
     def items(self) -> tuple[np.ndarray, np.ndarray]:
         """All live ``(keys, payloads)``, unordered."""
+        if self._dense is not None:
+            idx = np.flatnonzero(self._dense >= 0)
+            return idx.astype(KEY_DTYPE), self._dense[idx]
         live = self._hkeys < TOMBSTONE_KEY
         return self._hkeys[live].copy(), self._hvals[live].copy()
 
     def clear(self) -> None:
+        if self._dense is not None:
+            self._dense.fill(-1)
         self._hkeys.fill(EMPTY_KEY)
         self._hvals.fill(-1)
         self.n_live = 0

@@ -112,6 +112,39 @@ def all_unique(keys: np.ndarray) -> bool:
     return np.unique(keys).size == keys.size
 
 
+#: Largest key domain deduplicated by scatter instead of sort (mirrors
+#: the store index's :data:`~repro.store.slot_index.DENSE_DOMAIN_CAP`).
+_COMPACT_DOMAIN_CAP = 1 << 22
+
+
+def compact_unique(keys: np.ndarray, *, return_inverse: bool = False):
+    """``np.unique`` — sorted dedup, optional inverse — for key arrays.
+
+    Compact key domains (max key below :data:`_COMPACT_DOMAIN_CAP`, e.g.
+    the functional models' ``[0, n_sparse)`` ids) dedup via one boolean
+    scatter over the domain instead of the O(n log n) sort/hash; results
+    are identical.  Larger domains fall back to ``np.unique``.
+    """
+    if keys.size == 0:
+        empty = keys[:0].copy()
+        return (empty, np.empty(0, dtype=np.int64)) if return_inverse else empty
+    mx = int(keys.max())
+    if mx >= _COMPACT_DOMAIN_CAP:
+        if return_inverse:
+            return np.unique(keys, return_inverse=True)
+        return np.unique(keys)
+    idx = keys.astype(np.int64)
+    member = np.zeros(mx + 1, dtype=bool)
+    member[idx] = True
+    upos = np.flatnonzero(member)
+    uniq = upos.astype(keys.dtype)
+    if not return_inverse:
+        return uniq
+    rank = np.empty(mx + 1, dtype=np.int64)
+    rank[upos] = np.arange(upos.size, dtype=np.int64)
+    return uniq, rank[idx]
+
+
 def unique_keys(*key_arrays: np.ndarray) -> np.ndarray:
     """Union of several key arrays, sorted, deduplicated.
 
@@ -121,4 +154,4 @@ def unique_keys(*key_arrays: np.ndarray) -> np.ndarray:
     non_empty = [as_keys(a) for a in key_arrays if np.asarray(a).size]
     if not non_empty:
         return np.empty(0, dtype=KEY_DTYPE)
-    return np.unique(np.concatenate(non_empty))
+    return compact_unique(np.concatenate(non_empty))

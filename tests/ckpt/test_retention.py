@@ -113,6 +113,90 @@ class TestRetention:
         assert prune_checkpoints(str(tmp_path / "absent"), 3) == []
 
 
+class TestRetentionLadder:
+    """keep-every-M composed on top of keep-last-N (the sparse rung)."""
+
+    def test_trainer_ladder_keeps_window_union_multiples(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+            checkpoint_keep_last=2,
+            checkpoint_keep_every=3,
+        )
+        trainer.run(7)
+        # Window rung {6, 7} ∪ sparse rung {3, 6}.
+        assert committed_rounds(str(tmp_path)) == [3, 6, 7]
+
+    def test_ladder_intersection_counted_once(self, tiny_spec, small_config, tmp_path):
+        """A snapshot in both rungs (recent AND a multiple) survives and
+        later leaves the window without being re-deletable debris."""
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+            checkpoint_keep_last=1,
+            checkpoint_keep_every=2,
+        )
+        trainer.run(2)  # round 2 is the newest AND a multiple of 2
+        assert committed_rounds(str(tmp_path)) == [2]
+        trainer.run(2)  # rounds 3, 4: 2 exits the window but stays (rung 2)
+        assert committed_rounds(str(tmp_path)) == [2, 4]
+
+    def test_prune_keep_every_direct(self, tiny_spec, small_config, tmp_path):
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster, checkpoint_dir=str(tmp_path), checkpoint_every=1
+        )
+        trainer.run(6)
+        removed = prune_checkpoints(str(tmp_path), keep_last=1, keep_every=4)
+        assert committed_rounds(str(tmp_path)) == [4, 6]
+        assert [os.path.basename(p) for p in removed] == [
+            checkpoint_dir_name(r) for r in (1, 2, 3, 5)
+        ]
+
+    def test_keep_every_one_keeps_everything(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster, checkpoint_dir=str(tmp_path), checkpoint_every=1
+        )
+        trainer.run(4)
+        assert prune_checkpoints(str(tmp_path), keep_last=1, keep_every=1) == []
+        assert committed_rounds(str(tmp_path)) == [1, 2, 3, 4]
+
+    def test_ladder_snapshot_still_restores(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        cluster = build(tiny_spec, small_config)
+        trainer = Trainer(
+            cluster,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+            checkpoint_keep_last=1,
+            checkpoint_keep_every=2,
+        )
+        trainer.run(3)
+        # Restore from the sparse-rung survivor (round 2), not the newest.
+        old = HPSCluster.restore(
+            latest_checkpoint(str(tmp_path), upto_round=2)
+        )
+        assert old.rounds_completed == 2
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_every"):
+            prune_checkpoints(str(tmp_path), keep_last=1, keep_every=0)
+        with pytest.raises(ValueError, match="checkpoint_keep_every"):
+            Trainer(None, checkpoint_keep_last=2, checkpoint_keep_every=0)
+        with pytest.raises(ValueError, match="requires checkpoint_keep_last"):
+            Trainer(None, checkpoint_keep_every=2)
+
+
 class TestLedgerCarryOver:
     def test_restored_ledger_continues_accounting(
         self, tiny_spec, small_config, tmp_path

@@ -1,4 +1,4 @@
-"""Schema validation of the ``BENCH_e2e.json`` perf ledger (v2)."""
+"""Schema validation of the ``BENCH_e2e.json`` perf ledger (v3)."""
 
 import json
 import pathlib
@@ -22,12 +22,21 @@ ROW_FIELDS = {
 }
 STAGES = {"read", "prepare", "load", "train"}
 DEFAULT_MODES = {"lockstep-unplanned", "lockstep-planned", "pipelined-planned"}
+PREFETCH_MODES = {
+    "lockstep-prefetch-oracle",
+    "lockstep-prefetch",
+    "pipelined-prefetch",
+}
 PRESSURE_MODES = {
     "lockstep-scalar-oracle",
     "lockstep-legacy",
     "lockstep-planned",
     "pipelined-planned",
-}
+} | PREFETCH_MODES
+
+#: The committed lockstep-planned pressure rounds/s as of PR 5 — the
+#: frozen baseline the prefetch acceptance claim is measured against.
+PR5_PRESSURE_PLANNED_BASELINE = 30.36
 
 
 def _validate_rows(scenario: dict, modes: set[str]) -> None:
@@ -35,7 +44,10 @@ def _validate_rows(scenario: dict, modes: set[str]) -> None:
     for row in scenario["rows"]:
         for field, typ in ROW_FIELDS.items():
             assert isinstance(row[field], typ), f"{row['mode']}.{field}"
-        assert set(row["stage_seconds"]) == STAGES
+        stages = STAGES | (
+            {"prefetch"} if row["mode"] in PREFETCH_MODES else set()
+        )
+        assert set(row["stage_seconds"]) == stages, row["mode"]
         assert row["wall_seconds"] > 0
         assert row["rounds_per_s"] > 0
         assert row["keys_per_s"] > 0
@@ -75,17 +87,25 @@ def validate_bench_e2e(doc: dict) -> None:
         assert key in pressure["workload"], f"pressure workload missing {key}"
     assert isinstance(pressure["parameter_parity"], bool)
     assert isinstance(pressure["seconds_parity"], bool)
+    assert isinstance(pressure["prefetch_seconds_parity"], bool)
     assert isinstance(pressure["speedup_bulk_over_legacy"], float)
     assert isinstance(pressure["speedup_bulk_over_scalar"], float)
+    assert isinstance(pressure["speedup_prefetch_over_bulk"], float)
     _validate_rows(pressure, PRESSURE_MODES)
     # The committed ledger is also the acceptance record: the bulk modes
     # must never have degraded to the whole-batch per-key replay, while
     # the oracle modes must actually have exercised it.
     assert pressure["bulk_scalar_fallbacks"] == 0
     by_mode = {r["mode"]: r for r in pressure["rows"]}
-    assert by_mode["lockstep-planned"]["scalar_fallbacks"] == 0
-    assert by_mode["pipelined-planned"]["scalar_fallbacks"] == 0
+    for mode in (
+        "lockstep-planned",
+        "pipelined-planned",
+        "lockstep-prefetch",
+        "pipelined-prefetch",
+    ):
+        assert by_mode[mode]["scalar_fallbacks"] == 0, mode
     assert by_mode["lockstep-scalar-oracle"]["scalar_fallbacks"] > 0
+    assert by_mode["lockstep-prefetch-oracle"]["scalar_fallbacks"] > 0
 
 
 class TestBenchSchema:
@@ -118,3 +138,19 @@ class TestBenchSchema:
         assert pressure["speedup_bulk_over_legacy"] >= 1.5
         assert pressure["parameter_parity"] is True
         assert pressure["seconds_parity"] is True
+        assert pressure["prefetch_seconds_parity"] is True
+
+    def test_committed_ledger_records_prefetch_win(self):
+        """The prefetch acceptance claim: the committed
+        ``pipelined-prefetch`` pressure row must run at ≥3× the frozen
+        PR-5 ``lockstep-planned`` pressure baseline (30.36 rounds/s).
+
+        Like the pressure win above, this reads the committed artifact
+        so it stays deterministic; regenerate on a quiet machine
+        (``BENCH_WRITE=1``) rather than relaxing the floor.
+        """
+        doc = json.loads((REPO_ROOT / "BENCH_e2e.json").read_text())
+        pressure = {s["name"]: s for s in doc["scenarios"]}["pressure"]
+        by_mode = {r["mode"]: r for r in pressure["rows"]}
+        floor = 3.0 * PR5_PRESSURE_PLANNED_BASELINE
+        assert by_mode["pipelined-prefetch"]["rounds_per_s"] >= floor
