@@ -16,7 +16,10 @@ asserts
   per-key replays under pressure;
 * no silent perf regression — fresh rounds/s within 30% of the
   committed ``BENCH_e2e.json`` baseline, compared per (scenario, mode)
-  inside the non-blocking CI perf-smoke job.
+  inside the non-blocking CI perf-smoke job;
+* checkpointing stays cheap and lossless — the recovery scenario's
+  parity flags hold on every fresh run (its byte/seconds claims are
+  deterministic and pinned in tests/plan/test_bench_schema.py).
 
 Set ``BENCH_WRITE=1`` to refresh ``BENCH_e2e.json`` at the repo root
 (the CI perf job does, and uploads it as an artifact).
@@ -61,6 +64,11 @@ def test_e2e_throughput(benchmark):
     )
     scenarios = {s["name"]: s for s in doc["scenarios"]}
     for scenario in doc["scenarios"]:
+        # The recovery scenario's rows are simulated-seconds/bytes based
+        # and carry no wall-clock throughput fields.
+        rows = [r for r in scenario["rows"] if "rounds_per_s" in r]
+        if not rows:
+            continue
         print(
             "\n"
             + format_table(
@@ -73,7 +81,7 @@ def test_e2e_throughput(benchmark):
                         r["examples_per_s"],
                         r["wall_seconds"],
                     )
-                    for r in scenario["rows"]
+                    for r in rows
                 ],
                 title=f"End-to-end throughput: {scenario['name']} scenario",
             )
@@ -82,13 +90,16 @@ def test_e2e_throughput(benchmark):
     assert doc["schema"] == BENCH_E2E_SCHEMA
     default = scenarios["default"]
     pressure = scenarios["pressure"]
+    recovery = scenarios["recovery"]
     print(
         f"planned-over-unplanned: "
         f"{default['speedup_planned_over_unplanned']:.2f}x, "
         f"pressure bulk-over-legacy: "
         f"{pressure['speedup_bulk_over_legacy']:.2f}x, "
         f"bulk-over-scalar: {pressure['speedup_bulk_over_scalar']:.2f}x, "
-        f"prefetch-over-bulk: {pressure['speedup_prefetch_over_bulk']:.2f}x"
+        f"prefetch-over-bulk: {pressure['speedup_prefetch_over_bulk']:.2f}x, "
+        f"full-over-delta bytes: "
+        f"{recovery['bytes_ratio_full_over_delta']:.2f}x"
     )
 
     # Losslessness: neither the plan, the admission engine, nor the
@@ -98,6 +109,8 @@ def test_e2e_throughput(benchmark):
     assert pressure["parameter_parity"] is True
     assert pressure["seconds_parity"] is True
     assert pressure["prefetch_seconds_parity"] is True
+    assert recovery["snapshot_parameter_parity"] is True
+    assert recovery["recovery_parameter_parity"] is True
     # The admission engine never degrades to the whole-batch per-key
     # replay (the acceptance gate for the bulk-exact cache path).
     assert pressure["bulk_scalar_fallbacks"] == 0
@@ -125,6 +138,8 @@ def test_e2e_throughput(benchmark):
         }
         for base_scenario in baseline_snapshot.get("scenarios", []):
             for base_row in base_scenario.get("rows", []):
+                if "rounds_per_s" not in base_row:
+                    continue  # recovery rows carry no wall-clock fields
                 fresh = fresh_rows.get(
                     (base_scenario["name"], base_row["mode"])
                 )

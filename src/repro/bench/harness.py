@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
 
 import numpy as np
@@ -48,6 +49,7 @@ __all__ = [
     "run_e2e_throughput",
     "BENCH_E2E_SCHEMA",
     "PRESSURE_WORKLOAD",
+    "RECOVERY_WORKLOAD",
     "small_cluster_config",
 ]
 
@@ -57,7 +59,11 @@ __all__ = [
 #: v3: the pressure scenario grows the plan-driven prefetch modes
 #: (lockstep-prefetch-oracle / lockstep-prefetch / pipelined-prefetch);
 #: their ``stage_seconds`` carry the spliced-in ``prefetch`` stage.
-BENCH_E2E_SCHEMA = "bench-e2e/v3"
+#: v4: new ``recovery`` scenario with ``snapshot-overhead`` and
+#: ``recovery-downtime`` rows (simulated-seconds based, so the committed
+#: values are deterministic); its rows intentionally do not carry the
+#: wall-clock throughput fields of the other scenarios.
+BENCH_E2E_SCHEMA = "bench-e2e/v4"
 
 #: The memory-pressure e2e workload: cache capacity far below the hot key
 #: set, an LFU-heavy split so LFU→LRU promotion storms form an eviction
@@ -73,6 +79,24 @@ PRESSURE_WORKLOAD = {
     "batch_size": 768,
     "minibatches_per_gpu": 1,
     "warmup_rounds": 6,
+}
+
+#: The recovery e2e workload: a key space far above the MEM cache with
+#: mild skew, warmed long enough that the accumulated SSD/MEM state
+#: dwarfs one round's write set — the regime the delta-snapshot claim
+#: (steady-state delta bytes ≥10× below a full snapshot) is measured
+#: in.  The failure-injection half reuses the same model cold (recovery
+#: cost is about the protocol, not the warmed store).
+RECOVERY_WORKLOAD = {
+    "n_sparse": 500_000,
+    "zipf_exponent": 1.02,
+    "batch_size": 256,
+    "warmup_rounds": 150,
+    "fi_rounds": 8,
+    "checkpoint_every": 2,
+    "kill_node": 1,
+    "full_kill_after_round": 4,
+    "partial_kill_after_round": 5,
 }
 
 #: BatchStats fields that intentionally differ between the bulk engine
@@ -741,6 +765,150 @@ def _pressure_scenario(
     }
 
 
+def _recovery_scenario(*, n_rounds: int, queue_capacity, seed: int) -> dict:
+    """Continuous delta checkpointing and failure recovery (Section 7).
+
+    Two measurements, both on the simulated clock (deterministic — the
+    committed rows double as acceptance gates):
+
+    * **snapshot-overhead** — a cluster warmed until its accumulated
+      MEM/SSD state dwarfs one round's write set runs ``n_rounds``
+      pipelined with the ``snapshot`` stage registered (delta mode,
+      every round).  Reports full vs steady-state delta snapshot bytes
+      (``bytes_ratio_full_over_delta`` is the tentpole claim: ≥10×) and
+      the pipelined makespan against an identical snapshot-free run —
+      the snapshot stage materializes in the pipeline shadow of the
+      next round's read/prepare, so the overhead is what the bottleneck
+      stage cannot absorb.  Parameters must be bit-identical to the
+      snapshot-free run.
+    * **recovery-downtime** — the :class:`~repro.ckpt.FailureInjector`
+      under delta snapshots, full mode (restore everything + replay)
+      vs partial mode (splice in one replacement node, replay nothing);
+      both recoveries must be bit-identical to a run that never failed.
+    """
+    import tempfile
+
+    from repro.ckpt import FailureInjector
+
+    wl = RECOVERY_WORKLOAD
+    spec = functional_model(n_sparse=wl["n_sparse"])
+    cfg = small_cluster_config(seed=seed)
+
+    def build() -> HPSCluster:
+        return HPSCluster(
+            spec,
+            cfg,
+            functional_batch_size=wl["batch_size"],
+            zipf_exponent=wl["zipf_exponent"],
+        )
+
+    # --- snapshot overhead -------------------------------------------
+    baseline = build()
+    baseline.train(wl["warmup_rounds"])
+    base_run = baseline.train_pipelined(n_rounds, queue_capacity=queue_capacity)
+
+    snapped = build()
+    snapped.train(wl["warmup_rounds"])
+    with tempfile.TemporaryDirectory() as tmp:
+        stage = snapped.enable_snapshot_stage(tmp, every=1)
+        snap_run = snapped.train_pipelined(
+            n_rounds, queue_capacity=queue_capacity
+        )
+        deltas = [s for s in stage.history if s.kind == "delta"]
+        # Ratio numerator: a full snapshot of the *final* state, so it
+        # reflects the same accumulated MEM/SSD footprint the deltas
+        # diffed against (the chain's opening full is slightly younger).
+        full_bytes = snapped.save_checkpoint(
+            os.path.join(tmp, "full-final"), mode="full"
+        ).nbytes
+    delta_mean = (
+        sum(d.nbytes for d in deltas) / len(deltas) if deltas else 0.0
+    )
+    overhead_row = {
+        "mode": "snapshot-overhead",
+        "n_snapshots": len(stage.history),
+        "full_bytes": int(full_bytes),
+        "delta_bytes_mean": float(delta_mean),
+        "bytes_ratio_full_over_delta": (
+            full_bytes / delta_mean if delta_mean else 0.0
+        ),
+        "snapshot_sim_seconds": float(
+            sum(s.seconds for s in stage.history)
+        ),
+        "baseline_makespan": float(base_run.makespan),
+        "snapshot_makespan": float(snap_run.makespan),
+        "makespan_overhead": (
+            snap_run.makespan / base_run.makespan - 1.0
+            if base_run.makespan
+            else 0.0
+        ),
+    }
+
+    # --- recovery downtime -------------------------------------------
+    fi_rounds = wl["fi_rounds"]
+    straight = build()
+    straight.train(fi_rounds)
+    with tempfile.TemporaryDirectory() as tmp:
+        injector = FailureInjector(
+            tmp,
+            checkpoint_every=wl["checkpoint_every"],
+            snapshot_mode="delta",
+        )
+        full_rec, full_report = injector.run(
+            build(),
+            fi_rounds,
+            kill_node=wl["kill_node"],
+            kill_after_round=wl["full_kill_after_round"],
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        injector = FailureInjector(
+            tmp,
+            checkpoint_every=wl["checkpoint_every"],
+            snapshot_mode="delta",
+        )
+        partial_rec, partial_report = injector.run(
+            build(),
+            fi_rounds,
+            kill_node=wl["kill_node"],
+            kill_after_round=wl["partial_kill_after_round"],
+            partial=True,
+        )
+    downtime_row = {
+        "mode": "recovery-downtime",
+        "full_restore_seconds": float(full_report.restore_seconds),
+        "full_replay_seconds": float(full_report.replay_seconds),
+        "full_recovery_seconds": float(full_report.recovery_seconds),
+        "full_rounds_replayed": int(full_report.rounds_replayed),
+        "partial_restore_seconds": float(partial_report.restore_seconds),
+        "partial_recovery_seconds": float(partial_report.recovery_seconds),
+        "partial_rounds_replayed": int(partial_report.rounds_replayed),
+        "recovery_speedup_partial_over_full": (
+            full_report.recovery_seconds / partial_report.recovery_seconds
+            if partial_report.recovery_seconds
+            else 0.0
+        ),
+    }
+    return {
+        "name": "recovery",
+        "workload": {
+            "model": spec.name,
+            "n_rounds": n_rounds,
+            "n_nodes": cfg.n_nodes,
+            "gpus_per_node": cfg.gpus_per_node,
+            "seed": seed,
+            **wl,
+        },
+        "rows": [overhead_row, downtime_row],
+        "bytes_ratio_full_over_delta": overhead_row[
+            "bytes_ratio_full_over_delta"
+        ],
+        "snapshot_parameter_parity": _parameter_parity(baseline, (snapped,)),
+        "recovery_parameter_parity": _parameter_parity(
+            straight, (full_rec, partial_rec)
+        ),
+    }
+
+
 def run_e2e_throughput(
     spec: ModelSpec | None = None,
     *,
@@ -768,6 +936,14 @@ def run_e2e_throughput(
       oracle; ``speedup_bulk_over_legacy`` and
       ``speedup_prefetch_over_bulk`` are the pressure-regime perf
       claims, and ``bulk_scalar_fallbacks`` must read zero.
+    * **recovery** — the delta-snapshot claims (``RECOVERY_WORKLOAD``):
+      ``snapshot-overhead`` pits a pipelined run with the registered
+      ``snapshot`` stage against a snapshot-free twin and reports the
+      full-vs-delta checkpoint bytes ratio (≥10× is the tentpole
+      claim); ``recovery-downtime`` compares full-cluster restore +
+      replay against single-node partial restore under the failure
+      injector.  Both are simulated-seconds/bytes based and therefore
+      deterministic; the rows carry no wall-clock throughput fields.
 
     Trained parameters must be bit-identical across every mode of a
     scenario (and simulated seconds within each pressure parity
@@ -787,6 +963,9 @@ def run_e2e_throughput(
                 seed=seed,
             ),
             _pressure_scenario(
+                n_rounds=n_rounds, queue_capacity=queue_capacity, seed=seed
+            ),
+            _recovery_scenario(
                 n_rounds=n_rounds, queue_capacity=queue_capacity, seed=seed
             ),
         ],

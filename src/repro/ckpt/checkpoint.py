@@ -8,12 +8,28 @@ each node's :class:`~repro.hardware.ledger.CostLedger` (categories
 ``ckpt_write`` / ``ckpt_read``) using the node's HDFS model — nodes
 snapshot in parallel, so the cluster-level cost is the slowest node.
 
+Delta snapshots (:func:`save_cluster_delta`, format v3) record only the
+state that changed since the previous snapshot: new SSD parameter files
+plus the mapping/stale-counter diff, the MEM cache's metadata plus only
+its changed value rows, and the (full, tiny) dense/optimizer state.  The
+diff source is the cluster's in-memory record of its last snapshot
+(``cluster._ckpt_base``), refreshed on every save, so steady-state
+snapshot bytes scale with the round's write set, not the model.  Restore
+walks the manifest chain (:func:`~repro.ckpt.format.resolve_chain`) —
+base first, deltas replayed in order.
+
+Partial restore (:func:`restore_node`): node shards are independent, so
+when one node dies at a round boundary where a snapshot exists, the
+surviving majority reloads *nothing* — a fresh replacement node loads
+its base shard, replays its delta chain, and splices in.
+
 Resume parity: batches are pure functions of ``(seed, index)`` and every
 piece of mutable training state is captured (dense tower, dense/sparse
 optimizer state, MEM cache contents *and* replacement order, SSD file
 layout with stale counters, stream position), so ``train(k) + save +
 restore + train(m)`` is bit-identical to ``train(k + m)`` in both
-lockstep and pipelined modes.
+lockstep and pipelined modes — for full snapshots, delta chains, and
+partial-node restores alike.
 """
 
 from __future__ import annotations
@@ -35,7 +51,13 @@ from repro.ckpt.format import (
 )
 from repro.config import ClusterConfig, ModelSpec
 
-__all__ = ["CheckpointStats", "save_cluster", "restore_cluster"]
+__all__ = [
+    "CheckpointStats",
+    "save_cluster",
+    "save_cluster_delta",
+    "restore_cluster",
+    "restore_node",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +71,9 @@ class CheckpointStats:
     seconds: float
     nbytes: int
     per_node_seconds: tuple[float, ...]
+    #: "full" | "delta" for saves; "full" | "delta" | "partial" for
+    #: restores (what the newest chain member / restore mode was).
+    kind: str = "full"
 
 
 # ----------------------------------------------------------------------
@@ -91,9 +116,95 @@ def _hdfs_transfer_seconds(node, nbytes: int) -> float:
     return node.hdfs.transfer_seconds(nbytes)
 
 
+def _dense_arrays(cluster) -> dict[str, np.ndarray]:
+    """Dense replica + dense optimizer state (identical on every node by
+    the all-reduce invariant; node 0's copy is canonical).  Dense state
+    is small, so both full and delta snapshots ship it whole."""
+    dense: dict[str, np.ndarray] = dict(cluster.nodes[0].model.mlp.state_dict())
+    for i, acc in enumerate(cluster.nodes[0].dense_optimizer.get_state()):
+        dense[f"adagrad_acc_{i}"] = acc
+    return dense
+
+
+def _node_shard_arrays(node, tiers: dict[str, dict]) -> dict[str, np.ndarray]:
+    """Pack one node's tier exports (full or delta) into shard arrays.
+
+    Tier arrays are namespaced with a 4-char prefix (``mem_``/``ssd_``/
+    ``hbm_``); the stream position and the long-horizon cost accounting
+    ride alongside — the cost of *this* save lands after the snapshot
+    (it depends on the shard bytes), exactly as a deployment would book
+    it.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for tier, state in tiers.items():
+        for key, value in state.items():
+            arrays[f"{tier}_{key}"] = value
+    arrays["hdfs_batches_read"] = np.int64(node.hdfs.batches_read)
+    arrays["hdfs_bytes_read"] = np.int64(node.hdfs.bytes_read)
+    ledger_state = node.ledger.export_state()
+    arrays["ledger_categories"] = np.array(
+        ledger_state["categories"], dtype=np.str_
+    )
+    arrays["ledger_totals"] = np.array(ledger_state["totals"], dtype=np.float64)
+    arrays["ledger_counts"] = np.array(ledger_state["counts"], dtype=np.int64)
+    return arrays
+
+
+def _split_tier_arrays(arrays: dict[str, np.ndarray]) -> dict[str, dict]:
+    """Invert :func:`_node_shard_arrays`'s tier namespacing."""
+    from repro.core.node import HPSNode
+
+    return {
+        tier: {
+            k[len(tier) + 1 :]: v
+            for k, v in arrays.items()
+            if k.startswith(f"{tier}_")
+        }
+        for tier in HPSNode.TIERS
+    }
+
+
+def _load_npz(path: str) -> dict[str, np.ndarray]:
+    with np.load(path) as z:
+        return {key: z[key] for key in z.files}
+
+
+def _load_node_counters(node, arrays: dict[str, np.ndarray]) -> None:
+    """Stream position + cost history (restored first, then the restore
+    itself is charged on top — accounting continues, it does not
+    restart)."""
+    node.hdfs.batches_read = int(arrays["hdfs_batches_read"])
+    node.hdfs.bytes_read = int(arrays["hdfs_bytes_read"])
+    node.ledger.load_state(
+        {
+            "categories": arrays["ledger_categories"].tolist(),
+            "totals": arrays["ledger_totals"].tolist(),
+            "counts": arrays["ledger_counts"].tolist(),
+        }
+    )
+
+
+def _record_base(cluster, directory: str, node_states: list[dict]) -> None:
+    """Remember the snapshot just committed as the next delta's base."""
+    cluster._ckpt_base = {
+        "directory": os.path.abspath(directory),
+        "rounds": cluster.rounds_completed,
+        "manifest_sha256": fmt.manifest_sha256(directory),
+        "node_states": node_states,
+    }
+
+
+def _require_boundary(cluster) -> None:
+    if cluster._staged_rounds:
+        raise CheckpointError(
+            "cannot checkpoint: a round has working parameters staged in "
+            "HBM — checkpoints are only valid at a round boundary"
+        )
+
+
 # ----------------------------------------------------------------------
 def save_cluster(cluster, directory: str) -> CheckpointStats:
-    """Materialize a checkpoint of ``cluster`` into ``directory``.
+    """Materialize a full checkpoint of ``cluster`` into ``directory``.
 
     The cluster must be quiescent (no round staged between HBM load and
     write-back) — both training modes are quiescent between ``train`` /
@@ -101,53 +212,30 @@ def save_cluster(cluster, directory: str) -> CheckpointStats:
     committed last, so a crash mid-save can never leave a directory that
     reads back as a valid-but-inconsistent checkpoint.
     """
-    if cluster._staged_rounds:
-        raise CheckpointError(
-            "cannot checkpoint: a round has working parameters staged in "
-            "HBM — checkpoints are only valid at a round boundary"
-        )
+    _require_boundary(cluster)
     os.makedirs(directory, exist_ok=True)
     fmt.invalidate(directory)
 
     shards: dict[str, str] = {}
-    # Dense replica + dense optimizer state (identical on every node by
-    # the all-reduce invariant; node 0's copy is canonical).
-    dense: dict[str, np.ndarray] = dict(cluster.nodes[0].model.mlp.state_dict())
-    for i, acc in enumerate(cluster.nodes[0].dense_optimizer.get_state()):
-        dense[f"adagrad_acc_{i}"] = acc
-    dense_bytes, digest = _write_shard(directory, DENSE_SHARD, dense)
+    dense_bytes, digest = _write_shard(directory, DENSE_SHARD, _dense_arrays(cluster))
     shards[DENSE_SHARD] = digest
 
     node_bytes: list[int] = []
+    node_states: list[dict] = []
     for node in cluster.nodes:
-        arrays: dict[str, np.ndarray] = {}
-        for key, value in node.mem_ps.export_state().items():
-            arrays[f"mem_{key}"] = value
-        for key, value in node.ssd_ps.export_state().items():
-            arrays[f"ssd_{key}"] = value
-        arrays["hdfs_batches_read"] = np.int64(node.hdfs.batches_read)
-        arrays["hdfs_bytes_read"] = np.int64(node.hdfs.bytes_read)
-        # Long-horizon cost accounting rides in the shard; the cost of
-        # *this* save lands after the snapshot (it depends on the shard
-        # bytes), exactly as a deployment would book it.
-        ledger_state = node.ledger.export_state()
-        arrays["ledger_categories"] = np.array(
-            ledger_state["categories"], dtype=np.str_
-        )
-        arrays["ledger_totals"] = np.array(
-            ledger_state["totals"], dtype=np.float64
-        )
-        arrays["ledger_counts"] = np.array(
-            ledger_state["counts"], dtype=np.int64
-        )
+        tiers = node.tier_states()
         name = node_shard_name(node.node_id)
-        nbytes, digest = _write_shard(directory, name, arrays)
+        nbytes, digest = _write_shard(
+            directory, name, _node_shard_arrays(node, tiers)
+        )
         shards[name] = digest
         node_bytes.append(nbytes)
+        node_states.append(tiers)
 
     payload = _config_payload(cluster)
     manifest = {
         "format_version": FORMAT_VERSION,
+        "kind": "full",
         "fingerprint": fingerprint(payload),
         "config": payload,
         "rounds_completed": cluster.rounds_completed,
@@ -155,6 +243,7 @@ def save_cluster(cluster, directory: str) -> CheckpointStats:
         "shards": shards,
     }
     manifest_bytes = fmt.write_manifest(directory, manifest)
+    _record_base(cluster, directory, node_states)
 
     # Simulated cost: every node streams its own shard to the distributed
     # FS in parallel; node 0 additionally commits the dense replica and
@@ -174,6 +263,133 @@ def save_cluster(cluster, directory: str) -> CheckpointStats:
         seconds=max(per_node),
         nbytes=sum(node_bytes) + dense_bytes + manifest_bytes,
         per_node_seconds=tuple(per_node),
+        kind="full",
+    )
+
+
+def delta_base_valid(cluster, directory: str) -> bool:
+    """Whether a delta into ``directory`` has a usable in-memory base:
+    one exists, it is a committed *sibling* of the target, the on-disk
+    manifest still hashes to the recorded link, and training has
+    advanced past it."""
+    base = getattr(cluster, "_ckpt_base", None)
+    if base is None:
+        return False
+    abs_dir = os.path.abspath(directory)
+    if os.path.dirname(abs_dir) != os.path.dirname(base["directory"]):
+        return False
+    if abs_dir == base["directory"]:
+        return False
+    if cluster.rounds_completed <= base["rounds"]:
+        return False
+    try:
+        return fmt.manifest_sha256(base["directory"]) == base["manifest_sha256"]
+    except CheckpointError:
+        return False
+
+
+def save_cluster_delta(
+    cluster, directory: str, *, dirty_keys=None
+) -> CheckpointStats:
+    """Materialize a delta snapshot chained to the previous snapshot.
+
+    The diff source is the cluster's in-memory base record (set by the
+    previous :func:`save_cluster` / :func:`save_cluster_delta` /
+    restore), so no disk reads are needed to diff.  ``directory`` must
+    be a *sibling* of the base (the manifest's ``base`` link is a
+    directory name).  ``dirty_keys`` is an optional per-node list of
+    key arrays — the union of keys each node's MEM tier wrote since the
+    base (the snapshot stage feeds it straight from the round plans);
+    without it the cache diff compares value slabs.
+
+    Same atomicity discipline as a full save: invalidate first, commit
+    the manifest last.  The base record only advances after the manifest
+    commits, so a crashed delta save can be retried into the same
+    directory against the unchanged base.
+    """
+    _require_boundary(cluster)
+    base = getattr(cluster, "_ckpt_base", None)
+    if base is None:
+        raise CheckpointError(
+            "no base snapshot in memory — take a full checkpoint first"
+        )
+    abs_dir = os.path.abspath(directory)
+    if os.path.dirname(abs_dir) != os.path.dirname(base["directory"]):
+        raise CheckpointError(
+            "a delta snapshot must be a sibling of its base "
+            f"({base['directory']!r})"
+        )
+    if abs_dir == base["directory"]:
+        raise CheckpointError("a delta snapshot cannot overwrite its base")
+    if cluster.rounds_completed <= base["rounds"]:
+        raise CheckpointError(
+            "no training progress since the base snapshot — nothing to delta"
+        )
+    actual = fmt.manifest_sha256(base["directory"])
+    if actual != base["manifest_sha256"]:
+        raise CheckpointError(
+            f"base snapshot at {base['directory']!r} changed on disk since "
+            "it was recorded — take a full checkpoint"
+        )
+    if dirty_keys is not None and len(dirty_keys) != cluster.n_nodes:
+        raise ValueError("dirty_keys must list one key array per node")
+
+    os.makedirs(directory, exist_ok=True)
+    fmt.invalidate(directory)
+
+    shards: dict[str, str] = {}
+    dense_bytes, digest = _write_shard(directory, DENSE_SHARD, _dense_arrays(cluster))
+    shards[DENSE_SHARD] = digest
+
+    node_bytes: list[int] = []
+    node_states: list[dict] = []
+    for node in cluster.nodes:
+        tiers = node.tier_states()  # current full state — the next base
+        deltas = node.tier_deltas(
+            base["node_states"][node.node_id],
+            dirty_keys=(
+                dirty_keys[node.node_id] if dirty_keys is not None else None
+            ),
+        )
+        name = node_shard_name(node.node_id)
+        nbytes, digest = _write_shard(
+            directory, name, _node_shard_arrays(node, deltas)
+        )
+        shards[name] = digest
+        node_bytes.append(nbytes)
+        node_states.append(tiers)
+
+    payload = _config_payload(cluster)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": "delta",
+        "base": os.path.basename(base["directory"]),
+        "base_manifest_sha256": base["manifest_sha256"],
+        "fingerprint": fingerprint(payload),
+        "config": payload,
+        "rounds_completed": cluster.rounds_completed,
+        "n_nodes": cluster.n_nodes,
+        "shards": shards,
+    }
+    manifest_bytes = fmt.write_manifest(directory, manifest)
+    _record_base(cluster, directory, node_states)
+
+    per_node: list[float] = []
+    for node, nbytes in zip(cluster.nodes, node_bytes):
+        total = nbytes + (
+            dense_bytes + manifest_bytes if node.node_id == 0 else 0
+        )
+        t = _hdfs_transfer_seconds(node, total)
+        node.ledger.add("ckpt_write", t)
+        per_node.append(t)
+    return CheckpointStats(
+        op="save",
+        directory=directory,
+        rounds_completed=cluster.rounds_completed,
+        seconds=max(per_node),
+        nbytes=sum(node_bytes) + dense_bytes + manifest_bytes,
+        per_node_seconds=tuple(per_node),
+        kind="delta",
     )
 
 
@@ -190,6 +406,47 @@ def _diff_hint(saved: dict, current: dict) -> str:
     return ", ".join(diffs) if diffs else "unknown"
 
 
+def _verify_chain_shards(chain, node_ids, *, dense: bool = True):
+    """Digest-verify every shard the restore will read, up front.
+
+    Returns one ``{shard name: verified path}`` dict per chain member.
+    A truncated or missing shard anywhere in the chain fails the restore
+    before any state has been loaded.
+    """
+    verified: list[dict[str, str]] = []
+    for directory, manifest in chain:
+        shards = dict(manifest["shards"])
+        wanted: list[str] = []
+        if dense:
+            if DENSE_SHARD not in shards:
+                raise CheckpointError("checkpoint manifest lists no dense shard")
+            wanted.append(DENSE_SHARD)
+        for node_id in node_ids:
+            name = node_shard_name(node_id)
+            if name not in shards:
+                raise CheckpointError(
+                    f"checkpoint manifest lists no shard {name!r}"
+                )
+            wanted.append(name)
+        verified.append(
+            {
+                name: fmt.verify_shard(directory, name, shards[name])
+                for name in wanted
+            }
+        )
+    return verified
+
+
+def _load_dense(node, dense: dict[str, np.ndarray]) -> None:
+    mlp_state = {k: v for k, v in dense.items() if k.startswith("layer")}
+    acc = [
+        dense[f"adagrad_acc_{i}"]
+        for i in range(sum(k.startswith("adagrad_acc_") for k in dense))
+    ]
+    node.model.mlp.load_state_dict(mlp_state)
+    node.dense_optimizer.set_state([a.copy() for a in acc])
+
+
 def restore_cluster(
     cluster_cls,
     directory: str,
@@ -204,15 +461,20 @@ def restore_cluster(
     ssd_directory: str | None = None,
     use_plan: bool = True,
 ):
-    """Rebuild a cluster from a committed checkpoint.
+    """Rebuild a cluster from a committed checkpoint (full or delta).
 
-    Construction parameters left as ``None`` are taken from the manifest;
-    parameters passed explicitly must hash to the saved configuration
-    fingerprint (a checkpoint restored under a different config would
-    silently train a different model, so mismatches are errors, not
-    warnings).  Every shard's digest is verified before any state loads.
+    A delta target resolves its whole chain first
+    (:func:`~repro.ckpt.format.resolve_chain`); every chain member's
+    shard digests are verified before any state loads, then each node
+    loads its base shard and replays its deltas oldest-first.
+    Construction parameters left as ``None`` are taken from the
+    manifest; parameters passed explicitly must hash to the saved
+    configuration fingerprint (a checkpoint restored under a different
+    config would silently train a different model, so mismatches are
+    errors, not warnings).
     """
-    manifest = fmt.read_manifest(directory)
+    chain = fmt.resolve_chain(directory)
+    newest_dir, manifest = chain[-1]
     saved = manifest["config"]
     if model_spec is None:
         kwargs = dict(saved["model_spec"])
@@ -246,62 +508,38 @@ def restore_cluster(
     if int(manifest["n_nodes"]) != cluster.n_nodes:
         raise CheckpointError("checkpoint n_nodes does not match cluster")
 
-    # Verify every shard digest up front: a truncated or missing shard
-    # fails the restore before any state has been loaded.
-    shards = dict(manifest["shards"])
-    if DENSE_SHARD not in shards:
-        raise CheckpointError("checkpoint manifest lists no dense shard")
-    for node in cluster.nodes:
-        name = node_shard_name(node.node_id)
-        if name not in shards:
-            raise CheckpointError(f"checkpoint manifest lists no shard {name!r}")
-    verified = {
-        name: fmt.verify_shard(directory, name, digest)
-        for name, digest in shards.items()
-    }
+    node_ids = [node.node_id for node in cluster.nodes]
+    verified = _verify_chain_shards(chain, node_ids)
 
-    dense_path = verified[DENSE_SHARD]
-    with np.load(dense_path) as z:
-        dense = {key: z[key] for key in z.files}
-    mlp_state = {k: v for k, v in dense.items() if k.startswith("layer")}
-    acc = [
-        dense[f"adagrad_acc_{i}"]
-        for i in range(sum(k.startswith("adagrad_acc_") for k in dense))
-    ]
+    dense_path = verified[-1][DENSE_SHARD]
+    dense = _load_npz(dense_path)
     dense_bytes = os.path.getsize(dense_path)
-    manifest_bytes = os.path.getsize(os.path.join(directory, fmt.MANIFEST_NAME))
+    manifest_bytes = sum(
+        os.path.getsize(os.path.join(d, fmt.MANIFEST_NAME)) for d, _ in chain
+    )
 
     per_node: list[float] = []
+    read_bytes = 0
     for node in cluster.nodes:
-        path = verified[node_shard_name(node.node_id)]
-        with np.load(path) as z:
-            arrays = {key: z[key] for key in z.files}
-        node.model.mlp.load_state_dict(mlp_state)
-        node.dense_optimizer.set_state([a.copy() for a in acc])
-        node.mem_ps.load_state(
-            {k[4:]: v for k, v in arrays.items() if k.startswith("mem_")}
-        )
-        node.ssd_ps.load_state(
-            {k[4:]: v for k, v in arrays.items() if k.startswith("ssd_")}
-        )
-        node.hdfs.batches_read = int(arrays["hdfs_batches_read"])
-        node.hdfs.bytes_read = int(arrays["hdfs_bytes_read"])
-        # Restore the cost history first, then charge the restore itself
-        # on top of it — accounting continues, it does not restart.
-        node.ledger.load_state(
-            {
-                "categories": arrays["ledger_categories"].tolist(),
-                "totals": arrays["ledger_totals"].tolist(),
-                "counts": arrays["ledger_counts"].tolist(),
-            }
-        )
-        # Every node pulls its own shard plus the shared dense replica
-        # and manifest back from the distributed FS.
-        t = _hdfs_transfer_seconds(
-            node, os.path.getsize(path) + dense_bytes + manifest_bytes
-        )
+        name = node_shard_name(node.node_id)
+        own_bytes = 0
+        arrays: dict[str, np.ndarray] = {}
+        for i, member in enumerate(verified):
+            path = member[name]
+            arrays = _load_npz(path)
+            if i == 0:
+                node.load_tier_states(_split_tier_arrays(arrays))
+            else:
+                node.load_tier_deltas(_split_tier_arrays(arrays))
+            own_bytes += os.path.getsize(path)
+        _load_dense(node, dense)
+        _load_node_counters(node, arrays)  # newest chain member's counters
+        # Every node pulls its own shard chain plus the shared dense
+        # replica and the chain's manifests back from the distributed FS.
+        t = _hdfs_transfer_seconds(node, own_bytes + dense_bytes + manifest_bytes)
         node.ledger.add("ckpt_read", t)
         per_node.append(t)
+        read_bytes += own_bytes
 
     cluster.rounds_completed = int(manifest["rounds_completed"])
     cluster.restore_stats = CheckpointStats(
@@ -309,10 +547,100 @@ def restore_cluster(
         directory=directory,
         rounds_completed=cluster.rounds_completed,
         seconds=max(per_node),
-        nbytes=sum(
-            os.path.getsize(os.path.join(directory, name)) for name in shards
-        )
-        + manifest_bytes,
+        nbytes=read_bytes + dense_bytes + manifest_bytes,
         per_node_seconds=tuple(per_node),
+        kind=manifest.get("kind", "full"),
     )
+    # The restored state *is* the newest snapshot — record it as the
+    # next delta's base so a resumed run keeps chaining.
+    _record_base(cluster, newest_dir, [n.tier_states() for n in cluster.nodes])
     return cluster
+
+
+def restore_node(cluster, directory: str, node_id: int) -> CheckpointStats:
+    """Partial restore: replace one dead node, survivors reload nothing.
+
+    Node shards are independent (format v2+), so when node ``node_id``
+    dies the surviving majority's state is already exactly the newest
+    committed snapshot *iff* that snapshot was taken at the survivors'
+    current round boundary — which is the only condition under which
+    zero-replay recovery is sound, and is therefore enforced.  A fresh
+    replacement node loads the dense replica, its base shard, and its
+    delta chain, then splices into the cluster; only the replacement
+    pays ``ckpt_read``.
+    """
+    if not 0 <= node_id < cluster.n_nodes:
+        raise ValueError("node_id out of range")
+    _require_boundary(cluster)
+    chain = fmt.resolve_chain(directory)
+    newest_dir, manifest = chain[-1]
+    current = _config_payload(cluster)
+    if fingerprint(current) != manifest["fingerprint"]:
+        raise CheckpointError(
+            "checkpoint configuration mismatch — refusing a partial restore"
+        )
+    if int(manifest["n_nodes"]) != cluster.n_nodes:
+        raise CheckpointError("checkpoint n_nodes does not match cluster")
+    if int(manifest["rounds_completed"]) != cluster.rounds_completed:
+        raise CheckpointError(
+            "partial restore requires a snapshot at the survivors' round "
+            f"boundary (snapshot at round {manifest['rounds_completed']}, "
+            f"survivors at {cluster.rounds_completed}) — restore the full "
+            "cluster and replay instead"
+        )
+
+    verified = _verify_chain_shards(chain, [node_id], dense=False)
+    name = node_shard_name(node_id)
+    dense_path = fmt.verify_shard(
+        newest_dir, DENSE_SHARD, dict(manifest["shards"])[DENSE_SHARD]
+    )
+
+    node = cluster._make_node(node_id)
+    _load_dense(node, _load_npz(dense_path))
+    own_bytes = 0
+    arrays: dict[str, np.ndarray] = {}
+    for i, member in enumerate(verified):
+        path = member[name]
+        arrays = _load_npz(path)
+        if i == 0:
+            node.load_tier_states(_split_tier_arrays(arrays))
+        else:
+            node.load_tier_deltas(_split_tier_arrays(arrays))
+        own_bytes += os.path.getsize(path)
+    _load_node_counters(node, arrays)
+
+    dense_bytes = os.path.getsize(dense_path)
+    manifest_bytes = sum(
+        os.path.getsize(os.path.join(d, fmt.MANIFEST_NAME)) for d, _ in chain
+    )
+    t = _hdfs_transfer_seconds(node, own_bytes + dense_bytes + manifest_bytes)
+    node.ledger.add("ckpt_read", t)
+
+    cluster.nodes[node_id] = node
+    peers = [n.mem_ps for n in cluster.nodes]
+    for n in cluster.nodes:
+        n.mem_ps.peers = peers
+
+    # The in-memory delta base stays valid only if it records exactly
+    # the chain we just restored from; otherwise the next delta would
+    # diff the replacement against a different snapshot.
+    base = getattr(cluster, "_ckpt_base", None)
+    if base is not None and base["manifest_sha256"] != fmt.manifest_sha256(
+        newest_dir
+    ):
+        cluster._ckpt_base = None
+
+    per_node = tuple(
+        t if n.node_id == node_id else 0.0 for n in cluster.nodes
+    )
+    stats = CheckpointStats(
+        op="restore",
+        directory=directory,
+        rounds_completed=cluster.rounds_completed,
+        seconds=t,
+        nbytes=own_bytes + dense_bytes + manifest_bytes,
+        per_node_seconds=per_node,
+        kind="partial",
+    )
+    cluster.restore_stats = stats
+    return stats

@@ -39,6 +39,9 @@ class RecoveryReport:
     checkpoint_seconds: float
     checkpoint_nbytes: int
     checkpoints: tuple[CheckpointStats, ...] = field(default=())
+    #: True when recovery replaced only the dead node (zero replay) —
+    #: the surviving majority's state was already the newest snapshot.
+    partial: bool = False
 
     @property
     def recovery_seconds(self) -> float:
@@ -49,11 +52,23 @@ class RecoveryReport:
 class FailureInjector:
     """Deterministic crash/recovery driver over an ``HPSCluster``."""
 
-    def __init__(self, directory: str, *, checkpoint_every: int = 2) -> None:
+    def __init__(
+        self,
+        directory: str,
+        *,
+        checkpoint_every: int = 2,
+        snapshot_mode: str = "full",
+    ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if snapshot_mode not in ("full", "delta"):
+            raise ValueError("snapshot_mode must be 'full' or 'delta'")
         self.directory = directory
         self.checkpoint_every = checkpoint_every
+        #: "full" writes self-contained snapshots; "delta" chains each
+        #: snapshot to the previous one (the first is full regardless),
+        #: and recovery replays the chain through the restore path.
+        self.snapshot_mode = snapshot_mode
 
     # ------------------------------------------------------------------
     def _checkpoint_dir(self, rounds_completed: int) -> str:
@@ -70,6 +85,7 @@ class FailureInjector:
         kill_node: int = 0,
         kill_after_round: int,
         restore_kwargs: dict | None = None,
+        partial: bool = False,
     ):
         """Train to ``n_rounds``, surviving one injected node failure.
 
@@ -78,6 +94,15 @@ class FailureInjector:
         its in-memory state must not be reused).  ``restore_kwargs`` is
         forwarded to ``HPSCluster.restore`` for deployments built with a
         non-default optimizer or hardware model.
+
+        ``partial=True`` models a single-node failure striking *after*
+        a boundary snapshot committed: the surviving majority's state is
+        exactly that snapshot, so only a replacement node restores
+        (:meth:`HPSCluster.restore_node`) and nothing replays.  It
+        therefore requires the failure to land on the checkpoint cadence
+        (``kill_after_round + 1`` a multiple of ``checkpoint_every``);
+        off-cadence failures lose in-flight state on every node and must
+        use the full restore + replay path.
         """
         base = cluster.rounds_completed
         if not base <= kill_after_round < n_rounds:
@@ -86,13 +111,20 @@ class FailureInjector:
             )
         if kill_node < 0 or kill_node >= cluster.n_nodes:
             raise ValueError("kill_node out of range")
+        if partial and (kill_after_round + 1 - base) % self.checkpoint_every:
+            raise ValueError(
+                "partial recovery requires the failure to strike at a "
+                "checkpoint boundary (kill_after_round + 1 - start must be "
+                f"a multiple of checkpoint_every={self.checkpoint_every})"
+            )
 
         checkpoints: list[CheckpointStats] = []
 
         def take_checkpoint() -> None:
             checkpoints.append(
                 cluster.save_checkpoint(
-                    self._checkpoint_dir(cluster.rounds_completed)
+                    self._checkpoint_dir(cluster.rounds_completed),
+                    mode="auto" if self.snapshot_mode == "delta" else "full",
                 )
             )
 
@@ -106,6 +138,22 @@ class FailureInjector:
         r = base
         while r < n_rounds:
             cluster.train_round()
+            if partial:
+                if (r + 1 - base) % self.checkpoint_every == 0:
+                    take_checkpoint()
+                if r == kill_after_round:
+                    # The boundary snapshot committed before the node
+                    # died, so the survivors' state *is* the snapshot:
+                    # splice in a replacement node, replay nothing.
+                    newest = max(
+                        checkpoints, key=lambda c: c.rounds_completed
+                    )
+                    stats = cluster.restore_node(newest.directory, kill_node)
+                    restore_seconds = stats.seconds
+                    checkpoint_round = stats.rounds_completed
+                    rounds_replayed = 0
+                r = cluster.rounds_completed
+                continue
             if r == kill_after_round:
                 # Node `kill_node` dies before the next snapshot commits;
                 # batch-synchronous training cannot proceed without it,
@@ -143,5 +191,6 @@ class FailureInjector:
             checkpoint_seconds=sum(c.seconds for c in checkpoints),
             checkpoint_nbytes=sum(c.nbytes for c in checkpoints),
             checkpoints=tuple(checkpoints),
+            partial=partial,
         )
         return cluster, report

@@ -14,6 +14,14 @@ checkpoint intact or an uncommitted directory that :func:`read_manifest`
 rejects — never a mix.  Each shard's SHA-256 is recorded in the manifest
 and verified on restore, so a truncated or tampered shard is detected
 before any state is loaded.
+
+Format v3 adds *delta* snapshots: a manifest whose ``kind`` is
+``"delta"`` records only the state that changed since its ``base``
+snapshot (a sibling directory, itself full or delta), chained through
+``base_manifest_sha256`` so a restore can prove the exact base it was
+diffed against is the one on disk.  :func:`resolve_chain` walks the
+links and returns the chain oldest-first; :func:`prune_checkpoints`
+never drops a snapshot that a surviving delta still references.
 """
 
 from __future__ import annotations
@@ -34,8 +42,10 @@ __all__ = [
     "checkpoint_dir_name",
     "fingerprint",
     "latest_checkpoint",
+    "manifest_sha256",
     "prune_checkpoints",
     "read_manifest",
+    "resolve_chain",
     "sha256_file",
     "write_manifest",
 ]
@@ -43,7 +53,9 @@ __all__ = [
 #: Bump when the manifest schema or shard layout changes incompatibly.
 #: v2: node shards carry the per-node CostLedger totals/counts, so a
 #: restored run continues long-horizon cost accounting.
-FORMAT_VERSION = 2
+#: v3: manifests carry ``kind`` ("full" | "delta"); delta manifests chain
+#: to a sibling ``base`` directory via ``base_manifest_sha256``.
+FORMAT_VERSION = 3
 
 MANIFEST_NAME = "manifest.json"
 DENSE_SHARD = "dense.npz"
@@ -120,6 +132,82 @@ def read_manifest(directory: str) -> dict:
     return manifest
 
 
+def manifest_sha256(directory: str) -> str:
+    """Digest of a directory's committed manifest file (the chain link)."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.isfile(path):
+        raise CheckpointError(
+            f"no committed checkpoint at {directory!r} (missing {MANIFEST_NAME})"
+        )
+    return sha256_file(path)
+
+
+def resolve_chain(directory: str) -> list[tuple[str, dict]]:
+    """Resolve a snapshot's delta chain, base first.
+
+    Walks ``base`` links from ``directory`` back to its full snapshot,
+    validating at each hop that
+
+    * the base is a sibling directory with a committed manifest,
+    * the base manifest's bytes hash to the child's recorded
+      ``base_manifest_sha256`` (the diff was taken against *this exact*
+      base, not a same-named rewrite),
+    * every link shares the child's config ``fingerprint``,
+    * ``rounds_completed`` strictly decreases walking backwards, and
+    * the chain terminates at a ``kind == "full"`` snapshot.
+
+    Returns ``[(directory, manifest), ...]`` oldest (the full base)
+    first; a full snapshot resolves to a single-element chain.
+    """
+    chain: list[tuple[str, dict]] = []
+    seen: set[str] = set()
+    current = directory
+    while True:
+        real = os.path.realpath(current)
+        if real in seen:
+            raise CheckpointError(f"checkpoint chain has a cycle at {current!r}")
+        seen.add(real)
+        manifest = read_manifest(current)
+        if chain:
+            _, child = chain[-1]
+            if manifest.get("fingerprint") != child.get("fingerprint"):
+                raise CheckpointError(
+                    f"delta base {current!r} was written by a different "
+                    "configuration (fingerprint mismatch)"
+                )
+            if int(manifest["rounds_completed"]) >= int(
+                child["rounds_completed"]
+            ):
+                raise CheckpointError(
+                    f"delta base {current!r} is not older than its child "
+                    f"(rounds {manifest['rounds_completed']} >= "
+                    f"{child['rounds_completed']})"
+                )
+            expected = child["base_manifest_sha256"]
+            actual = manifest_sha256(current)
+            if actual != expected:
+                raise CheckpointError(
+                    f"delta base manifest at {current!r} does not match the "
+                    f"chain link (sha256 {actual[:12]}… != recorded "
+                    f"{expected[:12]}…)"
+                )
+        chain.append((current, manifest))
+        kind = manifest.get("kind", "full")
+        if kind == "full":
+            break
+        if kind != "delta":
+            raise CheckpointError(f"unknown snapshot kind {kind!r}")
+        base_name = manifest.get("base")
+        if not base_name or os.path.basename(base_name) != base_name:
+            raise CheckpointError(
+                f"delta manifest at {current!r} has an invalid base "
+                f"{base_name!r} (must be a sibling directory name)"
+            )
+        current = os.path.join(os.path.dirname(current), base_name)
+    chain.reverse()
+    return chain
+
+
 def verify_shard(directory: str, name: str, expected_digest: str) -> str:
     """Existence + integrity check for one shard; returns its path."""
     path = os.path.join(directory, name)
@@ -150,8 +238,11 @@ def prune_checkpoints(
       long-horizon restore points that survive the sliding window).
 
     The two rungs compose as a union: a snapshot survives if **either**
-    rule keeps it.  Deletion is crash-safe in the same
-    delete-manifest-first discipline every writer uses: the commit
+    rule keeps it.  The ladder is then closed over delta chains: a
+    snapshot referenced (transitively, via ``base`` links) by any kept
+    snapshot is also kept, however old — GC may never strand a live
+    delta chain without its full base.  Deletion is crash-safe in the
+    same delete-manifest-first discipline every writer uses: the commit
     record goes first (:func:`invalidate`), so an interrupted prune
     leaves an *uncommitted* directory that every reader already rejects
     — never a half-valid snapshot.  Uncommitted directories (crash
@@ -165,6 +256,7 @@ def prune_checkpoints(
     if not os.path.isdir(directory):
         return []
     committed: list[tuple[int, str]] = []
+    manifests: dict[str, dict] = {}
     for entry in sorted(os.listdir(directory)):
         sub = os.path.join(directory, entry)
         if not (entry.startswith(CHECKPOINT_DIR_PREFIX) and os.path.isdir(sub)):
@@ -174,11 +266,27 @@ def prune_checkpoints(
         except CheckpointError:
             continue
         committed.append((int(manifest["rounds_completed"]), sub))
+        manifests[entry] = manifest
     committed.sort()
+    keep: set[str] = {os.path.basename(sub) for _, sub in committed[-keep_last:]}
+    if keep_every is not None:
+        keep |= {
+            os.path.basename(sub)
+            for rounds, sub in committed
+            if rounds % keep_every == 0
+        }
+    # Close over base links: a kept delta pins its whole ancestry.
+    frontier = list(keep)
+    while frontier:
+        entry = frontier.pop()
+        base = manifests.get(entry, {}).get("base")
+        if base and base in manifests and base not in keep:
+            keep.add(base)
+            frontier.append(base)
     removed: list[str] = []
-    for rounds, sub in committed[: max(0, len(committed) - keep_last)]:
-        if keep_every is not None and rounds % keep_every == 0:
-            continue  # sparse rung of the ladder keeps it
+    for _, sub in committed:
+        if os.path.basename(sub) in keep:
+            continue
         invalidate(sub)  # commit record first — readers reject from here on
         shutil.rmtree(sub)
         removed.append(sub)

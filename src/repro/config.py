@@ -145,9 +145,12 @@ class ClusterConfig:
     #: planned execution (``HPSCluster(use_plan=True)``)
     prefetch: bool = False
     #: SSD extent cache: parameter-file payloads kept hot so repeat
-    #: miss-path reads of the same file skip the device (0 disables; see
-    #: :class:`~repro.ssd.extent_cache.FileHandleCache`)
-    ssd_extent_cache_files: int = 0
+    #: miss-path reads of the same file pay the cheap warm rate instead
+    #: of a device read (0 disables; see
+    #: :class:`~repro.ssd.extent_cache.FileHandleCache`).  On by default
+    #: since hits are priced (warm ≠ free), so enabling it does not fork
+    #: the sim-seconds parity groups.
+    ssd_extent_cache_files: int = 16
     seed: int = 0
 
     def __post_init__(self) -> None:

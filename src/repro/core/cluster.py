@@ -267,26 +267,15 @@ class HPSCluster:
             seed=data_seed if data_seed is not None else cluster_config.seed,
             zipf_exponent=zipf_exponent,
         )
+        self._hardware = hardware
+        self._ssd_directory = ssd_directory
+        self.functional_batch_size = functional_batch_size
         self.nodes = [
-            HPSNode(
-                i,
-                model_spec,
-                cluster_config,
-                self.sparse_optimizer,
-                self.generator,
-                hardware=hardware,
-                dense_optimizer=DenseAdagrad(lr=0.05),
-                ssd_directory=(
-                    f"{ssd_directory}/node{i}" if ssd_directory else None
-                ),
-                functional_batch_size=functional_batch_size,
-            )
-            for i in range(cluster_config.n_nodes)
+            self._make_node(i) for i in range(cluster_config.n_nodes)
         ]
         peers = [n.mem_ps for n in self.nodes]
         for node in self.nodes:
             node.mem_ps.peers = peers
-        self.functional_batch_size = functional_batch_size
         self.rounds_completed = 0
         self.history: list[BatchStats] = []
         #: reused float32 dense-gradient buffers (one accumulator per node
@@ -303,6 +292,14 @@ class HPSCluster:
         #: Cost accounting of the restore that produced this cluster
         #: (set by :meth:`restore`; None for a freshly built cluster).
         self.restore_stats = None
+        #: In-memory record of the last committed snapshot — the diff
+        #: source for delta checkpoints: ``{directory, rounds,
+        #: manifest_sha256, node_states}``.  Maintained by
+        #: :mod:`repro.ckpt.checkpoint`; None until a full save/restore.
+        self._ckpt_base = None
+        #: pre-wrap stage registry, held while :meth:`wrap_stages`
+        #: instrumentation is installed (None = not wrapped)
+        self._unwrapped_stages = None
         #: the pipeline's ``(name, fn(ctx) -> seconds)`` stages, in
         #: execution order.  The four Algorithm 1 stages are fixed;
         #: optional stages splice in via :meth:`register_stage` — both
@@ -322,6 +319,30 @@ class HPSCluster:
     @property
     def n_nodes(self) -> int:
         return self.config.n_nodes
+
+    def _make_node(self, node_id: int) -> HPSNode:
+        """Build one fresh node from the cluster's construction recipe.
+
+        Used at construction and to spawn the replacement node in a
+        partial restore (:meth:`restore_node`) — the replacement must be
+        built exactly like the original so restored state lands on an
+        identical substrate.
+        """
+        return HPSNode(
+            node_id,
+            self.model_spec,
+            self.config,
+            self.sparse_optimizer,
+            self.generator,
+            hardware=self._hardware,
+            dense_optimizer=DenseAdagrad(lr=0.05),
+            ssd_directory=(
+                f"{self._ssd_directory}/node{node_id}"
+                if self._ssd_directory
+                else None
+            ),
+            functional_batch_size=self.functional_batch_size,
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1 as four independently-callable pipeline stages.  The
@@ -352,15 +373,59 @@ class HPSCluster:
             raise ValueError(f"cannot register after unknown stage {after!r}")
         self._stage_defs.insert(names.index(after) + 1, (name, fn))
 
+    def unregister_stage(self, name: str) -> None:
+        """Remove a stage spliced in via :meth:`register_stage`.
+
+        The four base Algorithm 1 stages are structural and cannot be
+        removed; unregistering a name that is not in the registry is an
+        error (it usually means a typo, not a no-op).
+        """
+        if name in PIPELINE_STAGE_NAMES:
+            raise ValueError(
+                f"stage {name!r} is a base Algorithm 1 stage and cannot "
+                "be unregistered"
+            )
+        names = [n for n, _ in self._stage_defs]
+        if name not in names:
+            raise ValueError(f"stage {name!r} is not registered")
+        del self._stage_defs[names.index(name)]
+
     def wrap_stages(self, wrap) -> None:
         """Replace every stage fn with ``wrap(name, fn)`` in the registry.
 
         Instrumentation hook: the bench harness wraps each stage with a
         wall-clock accumulator.  Both execution modes resolve stages
         through :meth:`stage_functions`, so wrappers installed here are
-        driven everywhere a stage runs.
+        driven everywhere a stage runs.  Re-wrapping already-wrapped
+        stages would double-count (and strand the originals), so it is
+        an error — call :meth:`unwrap_stages` first.
         """
+        if self._unwrapped_stages is not None:
+            raise RuntimeError(
+                "stages are already wrapped — call unwrap_stages() before "
+                "installing another wrapper"
+            )
+        self._unwrapped_stages = list(self._stage_defs)
         self._stage_defs = [(n, wrap(n, f)) for n, f in self._stage_defs]
+
+    def unwrap_stages(self) -> None:
+        """Drop :meth:`wrap_stages` instrumentation, restoring the
+        pre-wrap registry (stages registered *after* wrapping are kept,
+        unwrapped only if they were wrapped individually by the caller).
+        """
+        if self._unwrapped_stages is None:
+            raise RuntimeError("stages are not wrapped")
+        wrapped_names = {n for n, _ in self._unwrapped_stages}
+        extras = [
+            (n, f) for n, f in self._stage_defs if n not in wrapped_names
+        ]
+        restored = list(self._unwrapped_stages)
+        for n, f in extras:
+            # Re-splice post-wrap registrations at their current position.
+            idx = [m for m, _ in self._stage_defs].index(n)
+            restored.insert(min(idx, len(restored)), (n, f))
+        self._stage_defs = restored
+        self._unwrapped_stages = None
 
     def stage_read(self, ctx: RoundContext) -> float:
         """Stage 1 — HDFS read (Alg. 1 line 2); data-parallel per node.
@@ -803,7 +868,7 @@ class HPSCluster:
     # ------------------------------------------------------------------
     # Checkpoint / restore (repro.ckpt)
     # ------------------------------------------------------------------
-    def save_checkpoint(self, directory: str):
+    def save_checkpoint(self, directory: str, *, mode: str = "full", dirty_keys=None):
         """Materialize a crash-consistent snapshot into ``directory``.
 
         Captures everything ``train(k) + restore + train(m)`` needs to be
@@ -813,10 +878,131 @@ class HPSCluster:
         position.  Only valid at a round boundary.  Simulated write cost
         is charged per node under ``ckpt_write``; returns
         :class:`~repro.ckpt.checkpoint.CheckpointStats`.
-        """
-        from repro.ckpt.checkpoint import save_cluster
 
-        return save_cluster(self, directory)
+        ``mode`` selects the snapshot form: ``"full"`` (self-contained),
+        ``"delta"`` (only state changed since the last snapshot, chained
+        to it — requires a prior save/restore this process), or
+        ``"auto"`` (delta when a valid base exists, else full).
+        ``dirty_keys`` optionally narrows the delta's MEM cache diff to
+        the given per-node key arrays (see
+        :func:`~repro.ckpt.checkpoint.save_cluster_delta`).
+        """
+        from repro.ckpt import checkpoint as ckpt
+
+        if mode == "auto":
+            mode = "delta" if ckpt.delta_base_valid(self, directory) else "full"
+        if mode == "full":
+            return ckpt.save_cluster(self, directory)
+        if mode == "delta":
+            return ckpt.save_cluster_delta(self, directory, dirty_keys=dirty_keys)
+        raise ValueError(f"unknown checkpoint mode {mode!r}")
+
+    def restore_node(self, directory: str, node_id: int):
+        """Partial restore: rebuild one dead node from a snapshot chain
+        taken at the survivors' current round boundary; the surviving
+        majority reloads nothing.  See
+        :func:`~repro.ckpt.checkpoint.restore_node`.
+        """
+        from repro.ckpt.checkpoint import restore_node
+
+        return restore_node(self, directory, node_id)
+
+    def enable_snapshot_stage(
+        self,
+        directory: str,
+        *,
+        every: int = 1,
+        full_every: int | None = None,
+        keep_last: int | None = None,
+        keep_every: int | None = None,
+    ):
+        """Register the continuous-checkpoint pipeline stage.
+
+        Splices ``snapshot`` after ``train`` via :meth:`register_stage`,
+        so both execution modes run it; under :meth:`train_pipelined`
+        its simulated cost lands in the pipeline shadow of the next
+        round's read/prepare stages instead of the training critical
+        path.  Every ``every`` rounds it saves
+        ``<directory>/round_<NNNNNN>`` — a delta chained to the previous
+        snapshot (the first save, and every ``full_every``-th thereafter
+        when set, is full).  The delta's MEM dirty-key set is
+        accumulated from each round's plan
+        (:meth:`~repro.plan.RoundPlan.dirty_keys_of`) — no
+        re-partitioning, no slab comparison; unplanned rounds fall back
+        to the value-diff path.  With ``keep_last`` set, the retention
+        ladder (:func:`~repro.ckpt.format.prune_checkpoints`) runs after
+        each save; it is delta-chain-aware, so a base referenced by a
+        surviving delta is never dropped.
+
+        Returns the stage function (``unregister_stage("snapshot")``
+        removes it); its ``history`` attribute accumulates the
+        :class:`~repro.ckpt.checkpoint.CheckpointStats` of every
+        snapshot taken.
+        """
+        import os
+
+        from repro.ckpt import checkpoint as ckpt
+        from repro.ckpt.format import checkpoint_dir_name, prune_checkpoints
+
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if full_every is not None and full_every < 1:
+            raise ValueError("full_every must be >= 1")
+        os.makedirs(directory, exist_ok=True)
+        state = {
+            "dirty": [[] for _ in range(self.n_nodes)],
+            "dirty_known": True,
+            "since_full": 0,
+        }
+
+        def stage_snapshot(ctx) -> float:
+            # Accumulate the round's MEM write set straight from the plan
+            # (write-back local partition + owner-queue applies).
+            if ctx.plan is not None:
+                for i in range(self.n_nodes):
+                    state["dirty"][i].append(ctx.plan.dirty_keys_of(i))
+            else:
+                # An unplanned round's write set was never materialized;
+                # the next delta must diff value slabs instead.
+                state["dirty_known"] = False
+            if self.rounds_completed % every:
+                return 0.0
+            target = os.path.join(
+                directory, checkpoint_dir_name(self.rounds_completed)
+            )
+            take_full = not ckpt.delta_base_valid(self, target) or (
+                full_every is not None and state["since_full"] >= full_every - 1
+            )
+            if take_full:
+                stats = self.save_checkpoint(target, mode="full")
+                state["since_full"] = 0
+            else:
+                dirty = None
+                if state["dirty_known"]:
+                    dirty = [
+                        (
+                            np.unique(np.concatenate(parts))
+                            if parts
+                            else as_keys([])
+                        )
+                        for parts in state["dirty"]
+                    ]
+                stats = self.save_checkpoint(
+                    target, mode="delta", dirty_keys=dirty
+                )
+                state["since_full"] += 1
+            state["dirty"] = [[] for _ in range(self.n_nodes)]
+            state["dirty_known"] = True
+            stage_snapshot.history.append(stats)
+            if keep_last is not None:
+                prune_checkpoints(
+                    directory, keep_last=keep_last, keep_every=keep_every
+                )
+            return stats.seconds
+
+        stage_snapshot.history = []
+        self.register_stage("snapshot", stage_snapshot, after="train")
+        return stage_snapshot
 
     @classmethod
     def restore(

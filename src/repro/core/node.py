@@ -103,6 +103,48 @@ class HPSNode:
     def n_gpus(self) -> int:
         return self.config.gpus_per_node
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol: every storage tier exposes the same
+    # export/load pair in both full and delta form; the node drives them
+    # uniformly so the checkpoint writer never reaches into tiers.
+    # ------------------------------------------------------------------
+    TIERS = ("mem", "ssd", "hbm")
+
+    def tier_states(self) -> dict[str, dict]:
+        """Full per-tier snapshots (each tier's ``export_state``)."""
+        return {
+            "mem": self.mem_ps.export_state(),
+            "ssd": self.ssd_ps.export_state(),
+            "hbm": self.hbm_ps.export_state(),
+        }
+
+    def tier_deltas(
+        self, base: dict[str, dict], *, dirty_keys=None
+    ) -> dict[str, dict]:
+        """Per-tier diffs against a prior :meth:`tier_states` snapshot.
+
+        ``dirty_keys`` (optional) is the union of keys this node's MEM
+        tier wrote since the base — when provided, the cache diff selects
+        changed rows by membership instead of comparing value slabs.
+        """
+        return {
+            "mem": self.mem_ps.export_delta(base["mem"], dirty_keys=dirty_keys),
+            "ssd": self.ssd_ps.export_delta(base["ssd"]),
+            "hbm": self.hbm_ps.export_delta(base["hbm"]),
+        }
+
+    def load_tier_states(self, tiers: dict[str, dict]) -> None:
+        """Restore every tier from a :meth:`tier_states` snapshot."""
+        self.mem_ps.load_state(tiers["mem"])
+        self.ssd_ps.load_state(tiers["ssd"])
+        self.hbm_ps.load_state(tiers["hbm"])
+
+    def load_tier_deltas(self, tiers: dict[str, dict]) -> None:
+        """Apply a :meth:`tier_deltas` diff on top of the loaded base."""
+        self.mem_ps.load_delta(tiers["mem"])
+        self.ssd_ps.load_delta(tiers["ssd"])
+        self.hbm_ps.load_delta(tiers["hbm"])
+
     def cpu_partition_time(self, n_keys: int) -> float:
         """Simulated seconds to shard ``n_keys`` working keys across this
         node's GPUs (Alg. 1 line 5), charged to the node's ledger."""

@@ -90,9 +90,12 @@ class Trainer:
         checkpoint_every: int = 1,
         checkpoint_keep_last: int | None = None,
         checkpoint_keep_every: int | None = None,
+        checkpoint_mode: str = "full",
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_mode not in ("full", "delta", "auto"):
+            raise ValueError("checkpoint_mode must be 'full', 'delta' or 'auto'")
         if checkpoint_keep_last is not None and checkpoint_keep_last < 1:
             raise ValueError("checkpoint_keep_last must be >= 1")
         if checkpoint_keep_every is not None and checkpoint_keep_every < 1:
@@ -109,6 +112,11 @@ class Trainer:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep_last = checkpoint_keep_last
         self.checkpoint_keep_every = checkpoint_keep_every
+        #: "full" | "delta" | "auto" — forwarded to
+        #: :meth:`HPSCluster.save_checkpoint`; "auto" writes deltas
+        #: whenever a valid in-memory base exists (the run's first
+        #: snapshot is full either way).
+        self.checkpoint_mode = checkpoint_mode
         self.history = TrainingHistory()
 
     def _maybe_checkpoint(self, round_in_run: int) -> None:
@@ -122,7 +130,9 @@ class Trainer:
             self.checkpoint_dir,
             checkpoint_dir_name(self.cluster.rounds_completed),
         )
-        self.history.checkpoints.append(self.cluster.save_checkpoint(directory))
+        self.history.checkpoints.append(
+            self.cluster.save_checkpoint(directory, mode=self.checkpoint_mode)
+        )
         if self.checkpoint_keep_last is not None:
             # Only after the new snapshot committed: the retention window
             # always contains the snapshot that just landed.

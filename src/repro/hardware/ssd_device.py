@@ -54,12 +54,30 @@ class SSDDevice:
             return padded / self.spec.seq_write_bandwidth
         return self._blocks(n_bytes) / self.spec.random_iops
 
+    def warm_read_time(self, n_bytes: int) -> float:
+        """Seconds to serve ``n_bytes`` from the host-memory extent cache.
+
+        A DRAM copy: unpadded (block granularity is a device property)
+        and priced at ``warm_read_bandwidth``, so a cache hit is cheap
+        but never free on the simulated clock.
+        """
+        if n_bytes < 0:
+            raise ValueError("negative read size")
+        return n_bytes / self.spec.warm_read_bandwidth
+
     # ------------------------------------------------------------------
     def read(self, n_bytes: int, *, sequential: bool = True) -> float:
         """Account a read on the ledger; returns simulated seconds."""
         t = self.read_time(n_bytes, sequential=sequential)
         self.bytes_read += n_bytes
         self.read_ops += 1
+        self.ledger.add("ssd_read", t)
+        return t
+
+    def read_warm(self, n_bytes: int) -> float:
+        """Account an extent-cache hit on the ledger (``ssd_read``
+        category — it substitutes for a device read); returns seconds."""
+        t = self.warm_read_time(n_bytes)
         self.ledger.add("ssd_read", t)
         return t
 

@@ -301,3 +301,43 @@ class HBMPS:
         self._planned = None
         self.params.clear()
         self.grads.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol.  The HBM tier is *transient*: every round
+    # restages its working set from the MEM tier and the round-end
+    # write-back (``dump`` + ``MemPS.absorb_updates``) pulls the values
+    # back down, so between rounds the staged tables/arrays are a
+    # non-authoritative shadow (the next ``load_working_set`` clears them
+    # unconditionally).  The export pair therefore ships nothing — but it
+    # *asserts* the tier is actually quiescent, catching any attempt to
+    # snapshot mid-round, and keeps the per-tier protocol uniform so the
+    # checkpoint writer can drive every tier identically.
+    def _require_quiescent(self) -> None:
+        if self._planned is not None and self._planned.grad_buf is not None:
+            raise RuntimeError(
+                "HBM-PS gradient buffer not drained — checkpoint only at "
+                "a round boundary"
+            )
+        if self.grads.size:
+            raise RuntimeError(
+                "HBM-PS gradient table not empty — checkpoint only at "
+                "a round boundary"
+            )
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Checkpoint hook: asserts quiescence, exports nothing."""
+        self._require_quiescent()
+        return {}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Checkpoint hook: restore to the cleared (pre-round) state."""
+        self.clear()
+
+    def export_delta(self, base: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Delta hook: same quiescence contract as :meth:`export_state`."""
+        self._require_quiescent()
+        return {}
+
+    def load_delta(self, delta: dict[str, np.ndarray]) -> None:
+        """Delta hook: identical to a full load — the tier is transient."""
+        self.clear()

@@ -1986,6 +1986,125 @@ class CombinedCache:
         self.stats.hits = int(state["hits"])
         self.stats.misses = int(state["misses"])
 
+    def export_delta(
+        self,
+        base: dict[str, np.ndarray],
+        *,
+        dirty_keys: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Diff the cache against a prior :meth:`export_state` snapshot.
+
+        Replacement metadata (key order, access counts, frequencies)
+        changes on nearly every access and is cheap — a few int64 per
+        resident — so it ships in full.  The bulk of a snapshot is the
+        value slab (``value_dim`` float32 per row); the delta ships
+        values only for rows that are new since ``base`` or whose value
+        changed, recorded as positions into the shipped key arrays.
+
+        With ``dirty_keys`` (the caller's union of keys written since
+        the base — e.g. the plan's local partitions plus owner-queue
+        applications), changed rows are selected by membership instead
+        of comparing slabs.  Both modes treat a key's base value as
+        tier-independent: promotions move entries between LRU and LFU
+        with values intact, so a row that merely switched tiers ships
+        metadata only.
+        """
+        if self.lru.pinned_count():
+            raise RuntimeError(
+                "cannot snapshot a cache with pinned entries — finish the "
+                "in-flight batch first"
+            )
+        if self._pending_flush:
+            raise RuntimeError(
+                "cannot snapshot a cache with undrained pending flush-outs"
+            )
+        base_keys = np.concatenate(
+            [as_keys(base["lru_keys"]), as_keys(base["lfu_keys"])]
+        )
+        base_values = np.concatenate(
+            [
+                np.asarray(base["lru_values"], dtype=np.float32),
+                np.asarray(base["lfu_values"], dtype=np.float32),
+            ],
+            axis=0,
+        )
+        order = np.argsort(base_keys)
+        base_keys, base_values = base_keys[order], base_values[order]
+        if dirty_keys is not None:
+            dirty_keys = np.unique(as_keys(dirty_keys))
+
+        def ship_mask(keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+            pos = np.searchsorted(base_keys, keys)
+            pos_c = np.minimum(pos, max(0, base_keys.size - 1))
+            in_base = (
+                (base_keys[pos_c] == keys)
+                if base_keys.size
+                else np.zeros(keys.size, dtype=bool)
+            )
+            ship = ~in_base
+            if dirty_keys is not None:
+                ship |= np.isin(keys, dirty_keys)
+            else:
+                changed = np.zeros(keys.size, dtype=bool)
+                changed[in_base] = np.any(
+                    values[in_base] != base_values[pos_c[in_base]], axis=1
+                )
+                ship |= changed
+            return ship
+
+        lru_rows, lru_keys = self.lru._items_in_order(self.lru._tick)
+        lfu_rows, lfu_keys = self.lfu._items_in_order(self.lfu._tick)
+        lru_values = self.lru._values[lru_rows]
+        lfu_values = self.lfu._values[lfu_rows]
+        lru_ship = ship_mask(lru_keys, lru_values)
+        lfu_ship = ship_mask(lfu_keys, lfu_values)
+        return {
+            "lru_keys": lru_keys.astype(KEY_DTYPE),
+            "lru_counts": self._counts[lru_rows].copy(),
+            "lru_val_idx": np.flatnonzero(lru_ship).astype(np.int64),
+            "lru_values": lru_values[lru_ship].copy(),
+            "lfu_keys": lfu_keys.astype(KEY_DTYPE),
+            "lfu_freqs": self.lfu._freq[lfu_rows].copy(),
+            "lfu_val_idx": np.flatnonzero(lfu_ship).astype(np.int64),
+            "lfu_values": lfu_values[lfu_ship].copy(),
+            "hits": np.int64(self.stats.hits),
+            "misses": np.int64(self.stats.misses),
+        }
+
+    def load_delta(self, delta: dict[str, np.ndarray]) -> None:
+        """Apply an :meth:`export_delta` diff on top of the base state.
+
+        The cache must currently hold the base the delta was diffed
+        against; unshipped rows pull their (unchanged) values out of the
+        resident slabs via :meth:`peek_batch` — a key that cannot be
+        resolved means the delta is being applied to the wrong base.
+        """
+        state: dict[str, np.ndarray] = {
+            "hits": delta["hits"],
+            "misses": delta["misses"],
+        }
+        for tier, meta in (("lru", "lru_counts"), ("lfu", "lfu_freqs")):
+            keys = as_keys(delta[f"{tier}_keys"])
+            idx = np.asarray(delta[f"{tier}_val_idx"], dtype=np.int64)
+            shipped = np.asarray(delta[f"{tier}_values"], dtype=np.float32)
+            values = np.zeros((keys.size, self.value_dim), dtype=np.float32)
+            carried = np.ones(keys.size, dtype=bool)
+            carried[idx] = False
+            values[idx] = shipped
+            if carried.any():
+                old, found = self.peek_batch(keys[carried])
+                if not bool(np.all(found)):
+                    missing = keys[carried][~found][:5]
+                    raise ValueError(
+                        "cache delta carries values for keys absent from "
+                        f"the base, e.g. {missing.tolist()} — wrong base?"
+                    )
+                values[carried] = old
+            state[f"{tier}_keys"] = keys
+            state[f"{tier}_values"] = values
+            state[meta] = delta[meta]
+        self.load_state(state)
+
     def flush_all(self) -> tuple[np.ndarray, np.ndarray]:
         """Drain everything (shutdown / checkpoint path)."""
         lru_rows, lru_keys = self.lru._items_in_order(self.lru._tick)

@@ -564,3 +564,29 @@ class MemPS:
         self._served_keys.clear()
         self._prefetch_plan = None
         self._prev_union = (None, None)
+
+    def export_delta(
+        self,
+        base: dict[str, np.ndarray],
+        *,
+        dirty_keys: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Diff the MEM tier against a prior :meth:`export_state`.
+
+        Same round-boundary contract as :meth:`export_state`; the heavy
+        lifting (full metadata, changed-values-only slab) happens in
+        :meth:`CombinedCache.export_delta`.
+        """
+        if self._served_keys or self._prefetch_plan is not None:
+            raise RuntimeError(
+                "MEM-PS still holds in-flight pins — checkpoint only at "
+                "a round boundary (after end_batch)"
+            )
+        return self.cache.export_delta(base, dirty_keys=dirty_keys)
+
+    def load_delta(self, delta: dict[str, np.ndarray]) -> None:
+        """Apply an :meth:`export_delta` diff on top of the base state."""
+        self.cache.load_delta(delta)
+        self._served_keys.clear()
+        self._prefetch_plan = None
+        self._prev_union = (None, None)

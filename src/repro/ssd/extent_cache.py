@@ -14,10 +14,13 @@ payloads, LRU replacement) and exactly invalidated:
   erases its victims through it) must drop the entry, which
   :meth:`FileStore.erase` does via :meth:`invalidate`.
 
-A hit serves the payload without charging the simulated SSD device, so
-enabling the cache intentionally changes simulated seconds — it is off
-by default (``max_files=0``) and parity oracles compare like-configured
-runs only.
+A hit serves the payload at the *warm* rate — a host-DRAM copy priced by
+:meth:`~repro.hardware.ssd_device.SSDDevice.read_warm`, far cheaper than
+the device read it replaces but never free — so the cache can default on
+(``ClusterConfig.ssd_extent_cache_files``) without forking the
+sim-seconds parity groups: like-configured runs still agree bit-exactly,
+and the cost model keeps an honest account of where every byte came
+from.
 """
 
 from __future__ import annotations

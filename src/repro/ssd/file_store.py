@@ -62,7 +62,9 @@ class ReadResult:
 
     ``files_read``/``bytes_read`` count what was actually charged to the
     device; ``cache_hits`` counts the touched files served from the
-    :class:`~repro.ssd.extent_cache.FileHandleCache` instead (free).
+    :class:`~repro.ssd.extent_cache.FileHandleCache` instead, each
+    charged the cheap warm (host-DRAM copy) rate rather than a device
+    read.
     """
 
     values: np.ndarray
@@ -243,13 +245,17 @@ class FileStore:
             payload = self.extent_cache.get(fid)
             if payload is None:
                 # Full payload read, charged to the device; admit it so
-                # the next round's misses to this file are free.
+                # the next round's misses to this file go at warm rate.
                 payload = self._payload(f)
                 total_t += self.device.read(self.file_bytes(f))
                 files_read += 1
                 bytes_read += self.file_bytes(f)
                 self.extent_cache.put(fid, payload)
             else:
+                # Cache hit: a host-DRAM copy, cheap but not free, so
+                # the cache can default on without rewriting the cost
+                # model's parity story.
+                total_t += self.device.read_warm(self.file_bytes(f))
                 cache_hits += 1
             out[sel] = payload[rows]
             found[sel] = True
@@ -322,13 +328,149 @@ class FileStore:
             "map_keys": map_keys[order].astype(KEY_DTYPE),
             "map_fids": map_fids[order].astype(np.int64),
             "next_file_id": np.int64(self._next_file_id),
-            # Extent-cache residency (LRU-order file ids): hits are free
-            # on the simulated clock, so a restored run only replays the
-            # original run's I/O schedule if the warm set comes back too.
+            # Extent-cache residency (LRU-order file ids): hits go at the
+            # warm rate instead of the device rate, so a restored run only
+            # replays the original run's I/O schedule if the warm set
+            # comes back too.
             "extent_cache_fids": np.asarray(
                 self.extent_cache.resident_ids(), dtype=np.int64
             ),
         }
+
+    def export_delta(self, base: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Diff the store against a prior :meth:`export_state` snapshot.
+
+        Files are immutable and ids monotone, so the diff is exact and
+        cheap: every file with ``id >= base["next_file_id"]`` is new (its
+        keys/values ship in the same packed layout as the full export);
+        base files absent now were erased by compaction; surviving base
+        files can only have changed their stale counter.  Mapping rows
+        are shipped for exactly the keys appearing in new files — the
+        only operation that repoints the mapping is :meth:`write`, which
+        always lands keys in a new file, so that set covers every
+        changed row.  The extent-cache residency ships in full (it is a
+        handful of ids).
+        """
+        watermark = int(base["next_file_id"])
+        new_fids = sorted(fid for fid in self._files if fid >= watermark)
+        keys_parts = [self._files[fid].keys for fid in new_fids]
+        vals_parts = [self._payload(self._files[fid]) for fid in new_fids]
+        offsets = np.zeros(len(new_fids) + 1, dtype=np.int64)
+        if new_fids:
+            offsets[1:] = np.cumsum([k.size for k in keys_parts])
+        base_fids = np.asarray(base["file_ids"], dtype=np.int64)
+        base_stale = np.asarray(base["file_stale"], dtype=np.int64)
+        erased = [
+            int(fid) for fid in base_fids.tolist() if fid not in self._files
+        ]
+        stale_ids, stale_counts = [], []
+        for fid, old_stale in zip(base_fids.tolist(), base_stale.tolist()):
+            f = self._files.get(int(fid))
+            if f is not None and f.stale_count != old_stale:
+                stale_ids.append(int(fid))
+                stale_counts.append(f.stale_count)
+        if keys_parts:
+            touched = np.unique(np.concatenate(keys_parts))
+        else:
+            touched = np.zeros(0, dtype=KEY_DTYPE)
+        return {
+            "base_next_file_id": np.int64(watermark),
+            "file_ids": np.asarray(new_fids, dtype=np.int64),
+            "file_offsets": offsets,
+            "file_keys": (
+                np.concatenate(keys_parts)
+                if new_fids
+                else np.zeros(0, dtype=KEY_DTYPE)
+            ),
+            "file_values": (
+                np.concatenate(vals_parts, axis=0)
+                if new_fids
+                else np.zeros((0, self.value_dim), dtype=np.float32)
+            ),
+            "file_stale": np.asarray(
+                [self._files[fid].stale_count for fid in new_fids],
+                dtype=np.int64,
+            ),
+            "erased_ids": np.asarray(erased, dtype=np.int64),
+            "stale_ids": np.asarray(stale_ids, dtype=np.int64),
+            "stale_counts": np.asarray(stale_counts, dtype=np.int64),
+            "map_keys": touched,
+            "map_fids": self.mapping_of(touched),
+            "next_file_id": np.int64(self._next_file_id),
+            "extent_cache_fids": np.asarray(
+                self.extent_cache.resident_ids(), dtype=np.int64
+            ),
+        }
+
+    def load_delta(self, delta: dict[str, np.ndarray]) -> None:
+        """Apply an :meth:`export_delta` diff on top of the base state.
+
+        The store must currently hold exactly the base snapshot the
+        delta was diffed against (``base_next_file_id`` is checked).
+        Validation runs before any mutation; the apply order — add new
+        files, repoint mapping, update stale counters, erase dead files
+        — mirrors how the live store evolved, and ends in the same
+        :meth:`check_invariants` sweep a full load runs.
+        """
+        if int(delta["base_next_file_id"]) != self._next_file_id:
+            raise ValueError(
+                f"delta was diffed against next_file_id="
+                f"{int(delta['base_next_file_id'])}, store is at "
+                f"{self._next_file_id}"
+            )
+        fids = np.asarray(delta["file_ids"], dtype=np.int64)
+        offsets = np.asarray(delta["file_offsets"], dtype=np.int64)
+        file_keys = as_keys(delta["file_keys"])
+        file_values = np.asarray(delta["file_values"], dtype=np.float32)
+        stale = np.asarray(delta["file_stale"], dtype=np.int64)
+        erased = np.asarray(delta["erased_ids"], dtype=np.int64)
+        stale_ids = np.asarray(delta["stale_ids"], dtype=np.int64)
+        stale_counts = np.asarray(delta["stale_counts"], dtype=np.int64)
+        map_keys_in = as_keys(delta["map_keys"])
+        map_fids_in = np.asarray(delta["map_fids"], dtype=np.int64)
+        next_file_id = int(delta["next_file_id"])
+        if file_values.shape != (file_keys.size, self.value_dim):
+            raise ValueError("file-store delta value shape mismatch")
+        if offsets.shape != (fids.size + 1,) or (
+            fids.size and int(offsets[-1]) != file_keys.size
+        ):
+            raise ValueError("file-store delta offsets mismatch")
+        if fids.size and int(fids.min()) < self._next_file_id:
+            raise ValueError("file-store delta contains pre-base file ids")
+        if fids.size and next_file_id <= int(fids.max()):
+            raise ValueError("file-store delta next_file_id is stale")
+        for fid in erased.tolist():
+            if int(fid) not in self._files:
+                raise ValueError(
+                    f"file-store delta erases unknown file {int(fid)}"
+                )
+        for fid in stale_ids.tolist():
+            if int(fid) not in self._files:
+                raise ValueError(
+                    f"file-store delta updates stale counter of unknown "
+                    f"file {int(fid)}"
+                )
+        for i, fid in enumerate(fids.tolist()):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            f = ParameterFile(
+                int(fid), file_keys[lo:hi].copy(), stale_count=int(stale[i])
+            )
+            self._store_payload(f, file_values[lo:hi].copy())
+            self._files[int(fid)] = f
+            self._total_bytes += self.file_bytes(f)
+        if map_keys_in.size:
+            self._mapping.set(map_keys_in, map_fids_in)
+        for fid, count in zip(stale_ids.tolist(), stale_counts.tolist()):
+            self._files[int(fid)].stale_count = int(count)
+        for fid in erased.tolist():
+            self.erase(int(fid))
+        self._next_file_id = next_file_id
+        self.extent_cache.clear()
+        for fid in delta.get("extent_cache_fids", np.zeros(0, np.int64)):
+            fid = int(fid)
+            if fid in self._files:
+                self.extent_cache.put(fid, self._payload(self._files[fid]))
+        self.check_invariants()
 
     def load_state(self, state: dict[str, np.ndarray]) -> None:
         """Rebuild the store from an :meth:`export_state` snapshot.

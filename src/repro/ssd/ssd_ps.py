@@ -68,8 +68,9 @@ class SSDPS:
         )
         self.load_seconds = 0.0
         self.dump_seconds = 0.0
-        #: reads served from the cross-round extent cache (free on the
-        #: simulated clock; see :class:`~repro.ssd.extent_cache.FileHandleCache`)
+        #: reads served from the cross-round extent cache (charged the
+        #: cheap warm rate instead of a device read; see
+        #: :class:`~repro.ssd.extent_cache.FileHandleCache`)
         self.extent_cache_hits = 0
 
     # ------------------------------------------------------------------
@@ -85,11 +86,12 @@ class SSDPS:
         """Read values for ``keys`` (never-seen keys return found=False).
 
         Extent-cache hits are accounted exactly once, here: the store's
-        :class:`~repro.ssd.file_store.ReadResult` already excludes hit
-        files from its charged ``seconds``, so this facade must only
-        accumulate the result — never re-price the read — and every
-        protocol face (:meth:`get_batch`, :meth:`transform`) goes through
-        this method so a cache hit can never be double-charged.
+        :class:`~repro.ssd.file_store.ReadResult` already prices hit
+        files at the warm rate inside its charged ``seconds``, so this
+        facade must only accumulate the result — never re-price the read
+        — and every protocol face (:meth:`get_batch`, :meth:`transform`)
+        goes through this method so a cache hit can never be
+        double-charged.
         """
         result = self.store.read(keys)
         self.load_seconds += result.seconds
@@ -190,6 +192,28 @@ class SSDPS:
     def load_state(self, state: dict[str, np.ndarray]) -> None:
         """Restore from an :meth:`export_state` snapshot."""
         self.store.load_state(state)
+        self._load_counters(state)
+
+    def export_delta(self, base: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Diff against a prior :meth:`export_state` snapshot.
+
+        The file store diffs exactly (immutable files, monotone ids);
+        the facade's running counters are scalars, so they ship in full
+        with every delta.
+        """
+        out = self.store.export_delta(base)
+        out["load_seconds"] = np.float64(self.load_seconds)
+        out["dump_seconds"] = np.float64(self.dump_seconds)
+        out["total_compactions"] = np.int64(self.compactor.total_compactions)
+        out["extent_cache_hits"] = np.int64(self.extent_cache_hits)
+        return out
+
+    def load_delta(self, delta: dict[str, np.ndarray]) -> None:
+        """Apply an :meth:`export_delta` diff on top of the base state."""
+        self.store.load_delta(delta)
+        self._load_counters(delta)
+
+    def _load_counters(self, state: dict[str, np.ndarray]) -> None:
         self.load_seconds = float(state["load_seconds"])
         self.dump_seconds = float(state["dump_seconds"])
         self.compactor.total_compactions = int(state["total_compactions"])

@@ -218,3 +218,28 @@ def test_trainer_checkpoint_cadence(tiny_spec, small_config, tmp_path):
     restored = HPSCluster.restore(str(tmp_path / "round_000004"))
     restored.train(1)
     assert_cluster_parity(cluster, restored)
+
+
+def test_trainer_delta_checkpoint_mode(tiny_spec, small_config, tmp_path):
+    """checkpoint_mode='auto' chains cadence snapshots: first full, the
+    rest deltas — and the newest chain member restores bit-identically."""
+    cluster = build(tiny_spec, small_config)
+    trainer = Trainer(
+        cluster,
+        checkpoint_dir=str(tmp_path),
+        checkpoint_every=2,
+        checkpoint_mode="auto",
+    )
+    history = trainer.run(6)
+    assert [c.kind for c in history.checkpoints] == ["full", "delta", "delta"]
+    restored = HPSCluster.restore(str(tmp_path / "round_000006"))
+    assert_cluster_parity(cluster, restored)
+    assert_deep_state_parity(cluster, restored)
+    cluster.train(1)
+    restored.train(1)
+    assert_cluster_parity(cluster, restored)
+
+
+def test_trainer_validates_checkpoint_mode():
+    with pytest.raises(ValueError, match="checkpoint_mode"):
+        Trainer(None, checkpoint_mode="incremental")

@@ -101,6 +101,98 @@ def test_run_validates_arguments(tiny_spec, small_config, tmp_path):
         FailureInjector(str(tmp_path), checkpoint_every=0)
 
 
+def test_partial_recovery_matches_no_failure_state(
+    tiny_spec, small_config, tmp_path
+):
+    """Partial mode: the failure strikes right after a boundary snapshot
+    committed, so one replacement node splices in and nothing replays."""
+    baseline = build(tiny_spec, small_config)
+    baseline.train(8)
+
+    injector = FailureInjector(
+        str(tmp_path), checkpoint_every=2, snapshot_mode="delta"
+    )
+    recovered, report = injector.run(
+        build(tiny_spec, small_config),
+        8,
+        kill_node=1,
+        kill_after_round=5,
+        partial=True,
+    )
+    assert recovered.rounds_completed == 8
+    assert report.partial is True
+    assert report.rounds_replayed == 0
+    assert report.replay_seconds == 0.0
+    assert report.restore_seconds > 0
+    # Recovered from the boundary snapshot the kill landed on.
+    assert report.checkpoint_round == 6
+    # The round-0 snapshot is full; every cadence snapshot after chains.
+    assert [c.kind for c in report.checkpoints] == ["full"] + ["delta"] * 4
+    assert_same_final_state(baseline, recovered)
+
+
+def test_partial_recovery_is_cheaper_than_full(
+    tiny_spec, small_config, tmp_path
+):
+    """Same failure round, both recovery paths: the splice-in must beat
+    restore-everything-and-replay on downtime (the paper's argument for
+    tolerating single-node failures without a global rollback)."""
+    partial_injector = FailureInjector(
+        str(tmp_path / "partial"), checkpoint_every=2, snapshot_mode="delta"
+    )
+    _, partial_report = partial_injector.run(
+        build(tiny_spec, small_config),
+        8,
+        kill_node=1,
+        kill_after_round=5,
+        partial=True,
+    )
+    full_injector = FailureInjector(
+        str(tmp_path / "full"), checkpoint_every=2, snapshot_mode="delta"
+    )
+    _, full_report = full_injector.run(
+        build(tiny_spec, small_config), 8, kill_node=1, kill_after_round=4
+    )
+    assert full_report.rounds_replayed > 0
+    assert partial_report.recovery_seconds < full_report.recovery_seconds
+
+
+def test_partial_requires_boundary_kill(tiny_spec, small_config, tmp_path):
+    injector = FailureInjector(str(tmp_path), checkpoint_every=2)
+    with pytest.raises(ValueError, match="boundary"):
+        injector.run(
+            build(tiny_spec, small_config),
+            6,
+            kill_after_round=2,
+            partial=True,
+        )
+
+
+def test_delta_snapshot_mode_full_recovery(tiny_spec, small_config, tmp_path):
+    """snapshot_mode='delta' with the classic full recovery path: the
+    restore replays the whole chain and still reaches the no-failure
+    state bit-identically."""
+    baseline = build(tiny_spec, small_config)
+    baseline.train(6)
+
+    injector = FailureInjector(
+        str(tmp_path), checkpoint_every=2, snapshot_mode="delta"
+    )
+    recovered, report = injector.run(
+        build(tiny_spec, small_config), 6, kill_node=0, kill_after_round=3
+    )
+    assert report.checkpoint_round == 2
+    assert report.rounds_replayed == 2
+    assert report.checkpoints[0].kind == "full"
+    assert all(c.kind == "delta" for c in report.checkpoints[1:])
+    assert_same_final_state(baseline, recovered)
+
+
+def test_injector_validates_snapshot_mode(tmp_path):
+    with pytest.raises(ValueError, match="snapshot_mode"):
+        FailureInjector(str(tmp_path), snapshot_mode="incremental")
+
+
 def test_recovery_ignores_stale_checkpoints_from_other_runs(
     tiny_spec, small_config, tmp_path
 ):

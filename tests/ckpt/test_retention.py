@@ -242,3 +242,68 @@ class TestLedgerCarryOver:
             ledger.load_state(
                 {"categories": ["a"], "totals": [-1.0], "counts": [1]}
             )
+
+
+class TestDeltaChainGC:
+    """The retention ladder closed over delta chains: GC may never
+    strand a live delta without its (transitive) full base."""
+
+    def test_kept_delta_pins_its_whole_ancestry(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        """Without periodic fulls every delta chains to the previous
+        snapshot, so keep-last pins the entire history — nothing is
+        collectible until a new full breaks the chain."""
+        cluster = build(tiny_spec, small_config)
+        cluster.enable_snapshot_stage(str(tmp_path), every=1, keep_last=2)
+        cluster.train(5)
+        assert committed_rounds(str(tmp_path)) == [1, 2, 3, 4, 5]
+
+    def test_new_full_releases_the_old_chain(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        """With ``full_every`` the ladder can actually collect: snapshots
+        are full at rounds 1 and 4, so keeping {4, 5} strands nothing
+        and rounds 1–3 are reclaimed."""
+        cluster = build(tiny_spec, small_config)
+        cluster.enable_snapshot_stage(
+            str(tmp_path), every=1, full_every=3, keep_last=2
+        )
+        cluster.train(5)
+        assert committed_rounds(str(tmp_path)) == [4, 5]
+        # The surviving chain restores bit-identically.
+        restored = HPSCluster.restore(
+            os.path.join(str(tmp_path), checkpoint_dir_name(5))
+        )
+        straight = build(tiny_spec, small_config)
+        straight.train(5)
+        import numpy as np
+
+        probe = straight.generator.batch(10_000, 1024).unique_keys()
+        assert np.array_equal(
+            straight.lookup_embeddings(probe),
+            restored.lookup_embeddings(probe),
+        )
+
+    def test_direct_prune_respects_base_links(
+        self, tiny_spec, small_config, tmp_path
+    ):
+        """prune_checkpoints itself (not just the stage) closes the keep
+        set over ``base`` links before removing anything."""
+        cluster = build(tiny_spec, small_config)
+        cluster.train(1)
+        cluster.save_checkpoint(
+            os.path.join(str(tmp_path), checkpoint_dir_name(1)), mode="full"
+        )
+        cluster.train(1)
+        cluster.save_checkpoint(
+            os.path.join(str(tmp_path), checkpoint_dir_name(2)), mode="delta"
+        )
+        cluster.train(1)
+        cluster.save_checkpoint(
+            os.path.join(str(tmp_path), checkpoint_dir_name(3)), mode="delta"
+        )
+        removed = prune_checkpoints(str(tmp_path), keep_last=1)
+        # Keeping round 3 pins rounds 2 and 1 through the chain.
+        assert removed == []
+        assert committed_rounds(str(tmp_path)) == [1, 2, 3]

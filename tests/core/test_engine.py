@@ -222,3 +222,94 @@ class TestClusterPipelined:
         assert np.array_equal(
             shallow.lookup_embeddings(probe), deep.lookup_embeddings(probe)
         )
+
+
+class TestStageRegistry:
+    """Hygiene of the cluster's pluggable stage registry."""
+
+    @pytest.fixture
+    def cluster(self, tiny_spec, small_config):
+        return HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+
+    def test_unregister_removes_a_registered_stage(self, cluster):
+        fired = []
+        cluster.register_stage(
+            "probe", lambda ctx: fired.append(ctx.round_index) or 0.0,
+            after="train",
+        )
+        cluster.train(1)
+        cluster.unregister_stage("probe")
+        cluster.train(1)
+        assert fired == [0]  # not fired after removal
+        assert [n for n, _ in cluster.stage_functions()] == [
+            "read", "prepare", "load", "train",
+        ]
+        # The name is free for re-registration after removal.
+        cluster.register_stage("probe", lambda ctx: 0.0, after="train")
+
+    def test_unregister_refuses_base_stages(self, cluster):
+        for name in ("read", "prepare", "load", "train"):
+            with pytest.raises(ValueError, match="base"):
+                cluster.unregister_stage(name)
+
+    def test_unregister_unknown_stage_is_an_error(self, cluster):
+        with pytest.raises(ValueError, match="not registered"):
+            cluster.unregister_stage("nope")
+
+    def test_rewrapping_wrapped_stages_is_an_error(self, cluster):
+        cluster.wrap_stages(lambda name, fn: fn)
+        with pytest.raises(RuntimeError, match="already wrapped"):
+            cluster.wrap_stages(lambda name, fn: fn)
+
+    def test_unwrap_restores_the_original_registry(self, cluster):
+        before = list(cluster.stage_functions())
+        seen = []
+
+        def wrap(name, fn):
+            def wrapped(ctx):
+                seen.append(name)
+                return fn(ctx)
+
+            return wrapped
+
+        cluster.wrap_stages(wrap)
+        assert list(cluster.stage_functions()) != before
+        cluster.train(1)
+        assert seen == ["read", "prepare", "load", "train"]
+        cluster.unwrap_stages()
+        assert list(cluster.stage_functions()) == before
+        cluster.train(1)
+        assert seen == ["read", "prepare", "load", "train"]  # no new entries
+        # A second unwrap has nothing to undo.
+        with pytest.raises(RuntimeError, match="not wrapped"):
+            cluster.unwrap_stages()
+
+    def test_unwrap_keeps_stages_registered_while_wrapped(self, cluster):
+        cluster.wrap_stages(lambda name, fn: fn)
+        fired = []
+        cluster.register_stage(
+            "late", lambda ctx: fired.append(ctx.round_index) or 0.0,
+            after="train",
+        )
+        cluster.unwrap_stages()
+        assert [n for n, _ in cluster.stage_functions()] == [
+            "read", "prepare", "load", "train", "late",
+        ]
+        cluster.train(1)
+        assert fired == [0]  # survived the unwrap, still driven
+
+    def test_wrapped_stages_train_bit_identically(
+        self, tiny_spec, small_config
+    ):
+        plain = HPSCluster(tiny_spec, small_config, functional_batch_size=256)
+        wrapped = HPSCluster(
+            tiny_spec, small_config, functional_batch_size=256
+        )
+        wrapped.wrap_stages(lambda name, fn: lambda ctx: fn(ctx))
+        plain.train(3)
+        wrapped.train(3)
+        probe = plain.generator.batch(5, 256).unique_keys()
+        assert np.array_equal(
+            plain.lookup_embeddings(probe),
+            wrapped.lookup_embeddings(probe),
+        )

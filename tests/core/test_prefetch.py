@@ -261,9 +261,17 @@ class TestExtentCachePlumbing:
             assert node.ssd_ps.store.extent_cache.max_files == 3
             assert node.ssd_ps.store.extent_cache.enabled
 
-    def test_disabled_by_default(self, tiny_spec, small_config):
+    def test_enabled_by_default(self, tiny_spec, small_config):
+        # Default on since hits are priced at the warm host-copy rate —
+        # the cache no longer forks sim-seconds parity groups.
         cluster = _build(tiny_spec, small_config)
         for node in cluster.nodes:
+            assert node.ssd_ps.store.extent_cache.enabled
+        off = _build(
+            tiny_spec,
+            dataclasses.replace(small_config, ssd_extent_cache_files=0),
+        )
+        for node in off.nodes:
             assert not node.ssd_ps.store.extent_cache.enabled
 
     def test_validation(self):

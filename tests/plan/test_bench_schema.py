@@ -1,4 +1,4 @@
-"""Schema validation of the ``BENCH_e2e.json`` perf ledger (v3)."""
+"""Schema validation of the ``BENCH_e2e.json`` perf ledger (v4)."""
 
 import json
 import pathlib
@@ -34,6 +34,31 @@ PRESSURE_MODES = {
     "pipelined-planned",
 } | PREFETCH_MODES
 
+#: The recovery scenario's rows are simulated-seconds/bytes based and
+#: deliberately carry none of the wall-clock throughput fields.
+RECOVERY_ROW_FIELDS = {
+    "snapshot-overhead": {
+        "n_snapshots": int,
+        "full_bytes": int,
+        "delta_bytes_mean": float,
+        "bytes_ratio_full_over_delta": float,
+        "snapshot_sim_seconds": float,
+        "baseline_makespan": float,
+        "snapshot_makespan": float,
+        "makespan_overhead": float,
+    },
+    "recovery-downtime": {
+        "full_restore_seconds": float,
+        "full_replay_seconds": float,
+        "full_recovery_seconds": float,
+        "full_rounds_replayed": int,
+        "partial_restore_seconds": float,
+        "partial_recovery_seconds": float,
+        "partial_rounds_replayed": int,
+        "recovery_speedup_partial_over_full": float,
+    },
+}
+
 #: The committed lockstep-planned pressure rounds/s as of PR 5 — the
 #: frozen baseline the prefetch acceptance claim is measured against.
 PR5_PRESSURE_PLANNED_BASELINE = 30.36
@@ -56,7 +81,7 @@ def _validate_rows(scenario: dict, modes: set[str]) -> None:
 def validate_bench_e2e(doc: dict) -> None:
     assert doc["schema"] == BENCH_E2E_SCHEMA
     scenarios = {s["name"]: s for s in doc["scenarios"]}
-    assert set(scenarios) == {"default", "pressure"}
+    assert set(scenarios) == {"default", "pressure", "recovery"}
 
     default = scenarios["default"]
     for key in (
@@ -107,6 +132,34 @@ def validate_bench_e2e(doc: dict) -> None:
     assert by_mode["lockstep-scalar-oracle"]["scalar_fallbacks"] > 0
     assert by_mode["lockstep-prefetch-oracle"]["scalar_fallbacks"] > 0
 
+    recovery = scenarios["recovery"]
+    for key in (
+        "model",
+        "n_rounds",
+        "n_sparse",
+        "zipf_exponent",
+        "warmup_rounds",
+        "batch_size",
+        "checkpoint_every",
+        "kill_node",
+        "seed",
+    ):
+        assert key in recovery["workload"], f"recovery workload missing {key}"
+    assert isinstance(recovery["snapshot_parameter_parity"], bool)
+    assert isinstance(recovery["recovery_parameter_parity"], bool)
+    assert isinstance(recovery["bytes_ratio_full_over_delta"], float)
+    by_mode = {r["mode"]: r for r in recovery["rows"]}
+    assert set(by_mode) == set(RECOVERY_ROW_FIELDS)
+    for mode, fields in RECOVERY_ROW_FIELDS.items():
+        for field, typ in fields.items():
+            assert isinstance(by_mode[mode][field], typ), f"{mode}.{field}"
+    # Shape facts that hold at any scale, fresh or committed: deltas
+    # really are cheaper than fulls, and the splice-in partial restore
+    # replays nothing while the full restore replays something.
+    assert by_mode["snapshot-overhead"]["bytes_ratio_full_over_delta"] > 1.0
+    assert by_mode["recovery-downtime"]["partial_rounds_replayed"] == 0
+    assert by_mode["recovery-downtime"]["full_rounds_replayed"] > 0
+
 
 class TestBenchSchema:
     def test_fresh_run_matches_schema_and_roundtrips(self, tmp_path):
@@ -154,3 +207,29 @@ class TestBenchSchema:
         by_mode = {r["mode"]: r for r in pressure["rows"]}
         floor = 3.0 * PR5_PRESSURE_PLANNED_BASELINE
         assert by_mode["pipelined-prefetch"]["rounds_per_s"] >= floor
+
+    def test_committed_ledger_records_delta_snapshot_win(self):
+        """The delta-checkpoint acceptance claims, read from the
+        committed artifact so they are deterministic everywhere:
+
+        * steady-state delta snapshots are ≥10× smaller than a full
+          snapshot of the same state (the PR-7 tentpole claim), and
+        * partial (single-node splice-in) recovery is strictly faster
+          than full-cluster restore + replay, with bit-identical
+          parameters in both cases.
+
+        Unlike the wall-clock gates above, these numbers come off the
+        simulated clock and byte counts, so a regeneration that moves
+        them reflects a real semantic change, not machine noise.
+        """
+        doc = json.loads((REPO_ROOT / "BENCH_e2e.json").read_text())
+        recovery = {s["name"]: s for s in doc["scenarios"]}["recovery"]
+        assert recovery["bytes_ratio_full_over_delta"] >= 10.0
+        assert recovery["snapshot_parameter_parity"] is True
+        assert recovery["recovery_parameter_parity"] is True
+        by_mode = {r["mode"]: r for r in recovery["rows"]}
+        downtime = by_mode["recovery-downtime"]
+        assert (
+            downtime["partial_recovery_seconds"]
+            < downtime["full_recovery_seconds"]
+        )
