@@ -1,0 +1,74 @@
+"""``python -m repro.analysis`` — run the invariant linter over a tree.
+
+Exit status 0 iff every finding is suppressed in-source.  CI runs
+``python -m repro.analysis src tests benchmarks --json analysis-findings.json``
+in the lint job and uploads the JSON as an artifact; the tier-1 suite
+runs the same scan through ``tests/analysis/test_linter_cli.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.linter import lint_paths
+from repro.analysis.rules import DEFAULT_RULES
+from repro.utils.io import atomic_write_bytes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for the repro tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the full report (active + suppressed) as JSON",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its rationale and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-suppression detail lines",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.id}: {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    report = lint_paths(args.paths, DEFAULT_RULES)
+    for finding in report.active:
+        print(finding.format())
+    if not args.quiet:
+        for finding in report.suppressed:
+            print(finding.format())
+    if args.json:
+        payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+        atomic_write_bytes(args.json, (payload + "\n").encode())
+    status = "clean" if report.ok else "FAILED"
+    print(
+        f"repro.analysis: {status} — {report.files_scanned} files, "
+        f"{len(report.rules)} rules, {len(report.active)} active finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.data.generator import CTRDataGenerator
 from repro.hashing.dnn import SimpleDNN
 from repro.hashing.lr import SparseLogisticRegression
 from repro.hashing.op_osrp import OPOSRPHasher
+from repro.utils.io import atomic_write_bytes
 
 __all__ = [
     "run_table4_speedups",
@@ -971,9 +972,8 @@ def run_e2e_throughput(
         ],
     }
     if write_path is not None:
-        with open(write_path, "w") as fh:
-            json.dump(result, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        payload = json.dumps(result, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(write_path, payload.encode())
     return result
 
 

@@ -36,7 +36,9 @@ plot.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
@@ -51,6 +53,10 @@ from repro.hbm.allreduce import (
     allreduce_dense,
     hierarchical_allreduce,
 )
+from repro.analysis.effects import OverlapContract
+from repro.analysis.effects import (
+    check_stage_conflicts as _check_stage_conflicts,
+)
 from repro.core.engine import EngineRun, PipelinedEngine, StageDef
 from repro.core.node import HPSNode
 from repro.core.pipeline import PipelineSchedule
@@ -58,16 +64,168 @@ from repro.nn.optim import DenseAdagrad, SparseAdagrad, SparseOptimizer
 from repro.plan import RoundPlan, build_round_plan
 from repro.utils.keys import as_keys
 
+if TYPE_CHECKING:
+    from repro.ckpt.checkpoint import CheckpointStats
+
 __all__ = [
     "HPSCluster",
     "BatchStats",
     "RoundContext",
     "PipelinedRun",
+    "StageSpec",
     "PIPELINE_STAGE_NAMES",
+    "STAGE_EFFECTS",
+    "BASE_OVERLAP_CONTRACTS",
+    "SNAPSHOT_OVERLAP_CONTRACTS",
 ]
 
 #: Executor-stage names, in Algorithm 1 order.
 PIPELINE_STAGE_NAMES = ("read", "prepare", "load", "train")
+
+#: A stage function: performs one round's work for its stage against the
+#: shared :class:`RoundContext` and returns its simulated seconds.
+StageFn = Callable[["RoundContext"], float]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One registered pipeline stage: name, closure, declared effects.
+
+    ``reads`` / ``writes`` use the resource vocabulary of
+    :mod:`repro.analysis.effects` (``stream``, ``mem``, ``ssd``,
+    ``hbm``, ``model``, ``ledger``, ``ckpt``, ``stats``, plus
+    round-local ``round:*`` names).  The static conflict check runs over
+    these declarations before every pipelined run, and the dynamic
+    tracer (:class:`repro.analysis.tracer.EffectTracer`) verifies them
+    against actual tier accesses in tests.
+    """
+
+    name: str
+    fn: StageFn
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+
+
+#: Declared effect sets of the built-in stages.  ``round:plan`` is the
+#: per-round plan/context (never shared across overlapping stages);
+#: ``ledger`` is commutative cost accounting (appends commute).
+STAGE_EFFECTS: dict[str, tuple[frozenset[str], frozenset[str]]] = {
+    "read": (
+        frozenset(),
+        frozenset({"stream", "round:plan", "ledger"}),
+    ),
+    "prefetch": (
+        frozenset({"round:plan"}),
+        frozenset({"mem", "ssd", "ledger"}),
+    ),
+    "prepare": (
+        frozenset({"round:plan"}),
+        frozenset({"mem", "ssd", "ledger"}),
+    ),
+    "load": (
+        frozenset({"round:plan"}),
+        frozenset({"hbm", "ledger"}),
+    ),
+    "train": (
+        frozenset({"round:plan"}),
+        frozenset({"mem", "ssd", "hbm", "model", "ledger", "stats"}),
+    ),
+    "snapshot": (
+        frozenset({"mem", "ssd", "hbm", "model", "stats", "stream"}),
+        frozenset({"ckpt", "ledger"}),
+    ),
+}
+
+#: Sanctioned concurrent overlaps among the built-in training stages.
+#: Each records *why* the write/read+write intersection is safe: the
+#: engine fires closures in canonical batch-major order, and the tiers
+#: implement the paper's pinning + write-back discipline (Section 5), so
+#: the overlap the simulated clock claims cannot reorder conflicting
+#: accesses.  A new stage that conflicts without such a contract fails
+#: :meth:`HPSCluster.check_stage_conflicts`.
+BASE_OVERLAP_CONTRACTS: tuple[OverlapContract, ...] = (
+    OverlapContract(
+        "prefetch",
+        "prepare",
+        frozenset({"mem", "ssd"}),
+        "prefetch(b+1) resolves against the post-write-back MEM/SSD state "
+        "of round b: canonical batch-major execution orders it after "
+        "prepare(b), and the round's rows stay pinned until write-back",
+    ),
+    OverlapContract(
+        "prefetch",
+        "train",
+        frozenset({"mem", "ssd"}),
+        "the paper's pinning discipline (Section 5): round b's working "
+        "set is pinned in MEM until its write-back lands, and the engine "
+        "executes prefetch(b+1) after train(b) in canonical order",
+    ),
+    OverlapContract(
+        "prepare",
+        "train",
+        frozenset({"mem", "ssd"}),
+        "prepare(b+1) must observe round b's write-back (paper Section "
+        "5); canonical batch-major execution guarantees it, which is "
+        "exactly what makes pipelined parameters bit-identical to "
+        "lockstep",
+    ),
+    OverlapContract(
+        "load",
+        "train",
+        frozenset({"hbm"}),
+        "Algorithm 1 pre-stages round b+1's working set into the per-GPU "
+        "tables while round b trains; the tables key by round-disjoint "
+        "working sets and the engine orders load(b+1) after train(b)'s "
+        "dump in execution",
+    ),
+)
+
+#: Sanctioned overlaps of the continuous-checkpoint stage: the snapshot
+#: of round b reads tier state *as of round b's boundary* — canonical
+#: execution order materializes the delta before any round-(b+1) stage
+#: mutates a tier, which is what lets its cost land in the pipeline
+#: shadow (PR 7's lockstep-vs-pipelined snapshot-history parity).
+SNAPSHOT_OVERLAP_CONTRACTS: tuple[OverlapContract, ...] = (
+    OverlapContract(
+        "read",
+        "snapshot",
+        frozenset({"stream"}),
+        "the snapshot records the stream cursor at round b's boundary; "
+        "read(b+1) advances it only after the snapshot closure ran in "
+        "canonical order",
+    ),
+    OverlapContract(
+        "prefetch",
+        "snapshot",
+        frozenset({"mem", "ssd"}),
+        "snapshot(b) exports the MEM/SSD state before prefetch(b+1) "
+        "executes (canonical order); the clock-only overlap is the "
+        "pipeline shadow the snapshot stage exists to exploit",
+    ),
+    OverlapContract(
+        "prepare",
+        "snapshot",
+        frozenset({"mem", "ssd"}),
+        "as for prefetch: the export completes before prepare(b+1) "
+        "mutates cache state in execution order",
+    ),
+    OverlapContract(
+        "load",
+        "snapshot",
+        frozenset({"hbm"}),
+        "the HBM export reads round b's drained tables before load(b+1) "
+        "stages the next working set in execution order",
+    ),
+    OverlapContract(
+        "train",
+        "snapshot",
+        frozenset({"mem", "ssd", "hbm", "model", "stats"}),
+        "snapshot(b) runs between train(b) and train(b+1) in canonical "
+        "order, so the exported state is exactly round b's boundary "
+        "state (PR 7 asserts lockstep and pipelined snapshot histories "
+        "bit-identical)",
+    ),
+)
 
 
 @dataclass
@@ -299,21 +457,39 @@ class HPSCluster:
         self._ckpt_base = None
         #: pre-wrap stage registry, held while :meth:`wrap_stages`
         #: instrumentation is installed (None = not wrapped)
-        self._unwrapped_stages = None
-        #: the pipeline's ``(name, fn(ctx) -> seconds)`` stages, in
-        #: execution order.  The four Algorithm 1 stages are fixed;
-        #: optional stages splice in via :meth:`register_stage` — both
-        #: execution modes and the bench harness drive whatever
-        #: :meth:`stage_functions` returns, so a registered stage is
-        #: automatically executed, scheduled, and instrumented.
-        self._stage_defs: list[tuple[str, object]] = [
-            (PIPELINE_STAGE_NAMES[0], self.stage_read),
-            (PIPELINE_STAGE_NAMES[1], self.stage_prepare),
-            (PIPELINE_STAGE_NAMES[2], self.stage_load),
-            (PIPELINE_STAGE_NAMES[3], self.stage_train),
+        self._unwrapped_stages: list[StageSpec] | None = None
+        #: the pipeline's stages (:class:`StageSpec`: name, closure,
+        #: declared effects), in execution order.  The four Algorithm 1
+        #: stages are fixed; optional stages splice in via
+        #: :meth:`register_stage` — both execution modes and the bench
+        #: harness drive whatever :meth:`stage_functions` returns, so a
+        #: registered stage is automatically executed, scheduled, and
+        #: instrumented.
+        base_fns: dict[str, StageFn] = {
+            "read": self.stage_read,
+            "prepare": self.stage_prepare,
+            "load": self.stage_load,
+            "train": self.stage_train,
+        }
+        self._stage_defs: list[StageSpec] = [
+            StageSpec(name, base_fns[name], *STAGE_EFFECTS[name])
+            for name in PIPELINE_STAGE_NAMES
         ]
+        #: per-stage sanctioned-overlap declarations; the base contracts
+        #: live under the reserved "" key, stages registered with
+        #: ``contracts=`` add their own (dropped on unregister)
+        self._stage_contracts: dict[str, tuple[OverlapContract, ...]] = {
+            "": BASE_OVERLAP_CONTRACTS
+        }
         if cluster_config.prefetch:
-            self.register_stage("prefetch", self.stage_prefetch, after="read")
+            reads, writes = STAGE_EFFECTS["prefetch"]
+            self.register_stage(
+                "prefetch",
+                self.stage_prefetch,
+                after="read",
+                reads=reads,
+                writes=writes,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -350,55 +526,104 @@ class HPSCluster:
     # path (train_pipelined) hands the same functions to the
     # PipelinedEngine, which overlaps consecutive rounds on the clock.
     # ------------------------------------------------------------------
-    def stage_functions(self):
+    def stage_functions(self) -> tuple[tuple[str, StageFn], ...]:
         """The pipeline stages as ``(name, fn(ctx) -> seconds)`` pairs.
 
         The base Algorithm 1 stages plus anything spliced in via
         :meth:`register_stage`, in execution order.
         """
+        return tuple((s.name, s.fn) for s in self._stage_defs)
+
+    def stage_specs(self) -> tuple[StageSpec, ...]:
+        """The registered stages with their declared effect sets."""
         return tuple(self._stage_defs)
 
-    def register_stage(self, name: str, fn, *, after: str) -> None:
+    def overlap_contracts(self) -> tuple[OverlapContract, ...]:
+        """Every sanctioned-overlap declaration currently in force."""
+        return tuple(
+            c for group in self._stage_contracts.values() for c in group
+        )
+
+    def register_stage(
+        self,
+        name: str,
+        fn: StageFn,
+        *,
+        after: str,
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+        contracts: Iterable[OverlapContract] = (),
+    ) -> None:
         """Splice stage ``name`` into the pipeline right after ``after``.
 
         Stage functions share the uniform ``fn(ctx) -> seconds``
         signature; lockstep, the pipelined engine, and the bench
         harness's instrumentation all iterate :meth:`stage_functions`,
         so a registered stage needs no further wiring anywhere.
+
+        ``reads`` / ``writes`` declare the shared resources the stage
+        touches (:mod:`repro.analysis.effects`); a stage that conflicts
+        with a potentially-concurrent stage must also supply
+        ``contracts`` justifying the overlap, or
+        :meth:`train_pipelined` will refuse to run the registry.
+        Stages with empty effect sets conflict with nothing (but the
+        dynamic :class:`~repro.analysis.tracer.EffectTracer` will hold
+        them to that claim in tests).
         """
-        names = [n for n, _ in self._stage_defs]
+        names = [s.name for s in self._stage_defs]
         if name in names:
             raise ValueError(f"stage {name!r} is already registered")
         if after not in names:
             raise ValueError(f"cannot register after unknown stage {after!r}")
-        self._stage_defs.insert(names.index(after) + 1, (name, fn))
+        spec = StageSpec(name, fn, frozenset(reads), frozenset(writes))
+        self._stage_defs.insert(names.index(after) + 1, spec)
+        extra = tuple(contracts)
+        if extra:
+            self._stage_contracts[name] = extra
 
     def unregister_stage(self, name: str) -> None:
         """Remove a stage spliced in via :meth:`register_stage`.
 
         The four base Algorithm 1 stages are structural and cannot be
         removed; unregistering a name that is not in the registry is an
-        error (it usually means a typo, not a no-op).
+        error (it usually means a typo, not a no-op).  Contracts the
+        stage registered are dropped with it.
         """
         if name in PIPELINE_STAGE_NAMES:
             raise ValueError(
                 f"stage {name!r} is a base Algorithm 1 stage and cannot "
                 "be unregistered"
             )
-        names = [n for n, _ in self._stage_defs]
+        names = [s.name for s in self._stage_defs]
         if name not in names:
             raise ValueError(f"stage {name!r} is not registered")
         del self._stage_defs[names.index(name)]
+        self._stage_contracts.pop(name, None)
 
-    def wrap_stages(self, wrap) -> None:
+    def check_stage_conflicts(self) -> None:
+        """Statically validate the registered stage set's effect sets.
+
+        Raises :class:`~repro.analysis.effects.StageConflictError` if
+        two stages the engine may overlap share a written resource
+        without an :class:`~repro.analysis.effects.OverlapContract`.
+        :meth:`train_pipelined` runs this before every pipelined run;
+        lockstep execution never overlaps stages and does not need it.
+        """
+        _check_stage_conflicts(
+            self.stage_specs(), contracts=self.overlap_contracts()
+        )
+
+    def wrap_stages(self, wrap: Callable[[str, StageFn], StageFn]) -> None:
         """Replace every stage fn with ``wrap(name, fn)`` in the registry.
 
         Instrumentation hook: the bench harness wraps each stage with a
         wall-clock accumulator.  Both execution modes resolve stages
         through :meth:`stage_functions`, so wrappers installed here are
-        driven everywhere a stage runs.  Re-wrapping already-wrapped
-        stages would double-count (and strand the originals), so it is
-        an error — call :meth:`unwrap_stages` first.
+        driven everywhere a stage runs.  Declared effect sets are
+        preserved — a wrapper instruments a stage, it does not change
+        what the stage touches.  Re-wrapping already-wrapped stages
+        would double-count (and strand the originals), so it is an
+        error — call :meth:`unwrap_stages` first.
         """
         if self._unwrapped_stages is not None:
             raise RuntimeError(
@@ -406,7 +631,10 @@ class HPSCluster:
                 "installing another wrapper"
             )
         self._unwrapped_stages = list(self._stage_defs)
-        self._stage_defs = [(n, wrap(n, f)) for n, f in self._stage_defs]
+        self._stage_defs = [
+            dataclasses.replace(s, fn=wrap(s.name, s.fn))
+            for s in self._stage_defs
+        ]
 
     def unwrap_stages(self) -> None:
         """Drop :meth:`wrap_stages` instrumentation, restoring the
@@ -415,15 +643,15 @@ class HPSCluster:
         """
         if self._unwrapped_stages is None:
             raise RuntimeError("stages are not wrapped")
-        wrapped_names = {n for n, _ in self._unwrapped_stages}
+        wrapped_names = {s.name for s in self._unwrapped_stages}
         extras = [
-            (n, f) for n, f in self._stage_defs if n not in wrapped_names
+            s for s in self._stage_defs if s.name not in wrapped_names
         ]
         restored = list(self._unwrapped_stages)
-        for n, f in extras:
+        for spec in extras:
             # Re-splice post-wrap registrations at their current position.
-            idx = [m for m, _ in self._stage_defs].index(n)
-            restored.insert(min(idx, len(restored)), (n, f))
+            idx = [s.name for s in self._stage_defs].index(spec.name)
+            restored.insert(min(idx, len(restored)), spec)
         self._stage_defs = restored
         self._unwrapped_stages = None
 
@@ -782,7 +1010,15 @@ class HPSCluster:
         clock overlaps consecutive rounds' stages under bounded prefetch
         queues, so the reported makespan reflects I/O hidden behind GPU
         compute (paper Section 3).
+
+        Before anything runs, the registered stage set is validated
+        against its declared effects (:meth:`check_stage_conflicts`):
+        pipelined execution is exactly the mode in which stages of
+        different rounds share the clock, so an undeclared write/write
+        or write/read overlap is refused up front instead of silently
+        racing in spirit.
         """
+        self.check_stage_conflicts()
         base = self.rounds_completed
         ctxs: dict[int, RoundContext] = {}
 
@@ -792,8 +1028,13 @@ class HPSCluster:
             return ctxs[b]
 
         stages = [
-            StageDef(name, lambda b, fn=fn: fn(ctx_for(b)))
-            for name, fn in self.stage_functions()
+            StageDef(
+                spec.name,
+                lambda b, fn=spec.fn: fn(ctx_for(b)),
+                reads=spec.reads,
+                writes=spec.writes,
+            )
+            for spec in self._stage_defs
         ]
         engine = PipelinedEngine(stages, queue_capacity=queue_capacity)
         run = engine.run(n_rounds)
@@ -868,7 +1109,13 @@ class HPSCluster:
     # ------------------------------------------------------------------
     # Checkpoint / restore (repro.ckpt)
     # ------------------------------------------------------------------
-    def save_checkpoint(self, directory: str, *, mode: str = "full", dirty_keys=None):
+    def save_checkpoint(
+        self,
+        directory: str,
+        *,
+        mode: str = "full",
+        dirty_keys: list[np.ndarray] | None = None,
+    ) -> "CheckpointStats":
         """Materialize a crash-consistent snapshot into ``directory``.
 
         Captures everything ``train(k) + restore + train(m)`` needs to be
@@ -897,7 +1144,7 @@ class HPSCluster:
             return ckpt.save_cluster_delta(self, directory, dirty_keys=dirty_keys)
         raise ValueError(f"unknown checkpoint mode {mode!r}")
 
-    def restore_node(self, directory: str, node_id: int):
+    def restore_node(self, directory: str, node_id: int) -> "CheckpointStats":
         """Partial restore: rebuild one dead node from a snapshot chain
         taken at the survivors' current round boundary; the surviving
         majority reloads nothing.  See
@@ -915,7 +1162,7 @@ class HPSCluster:
         full_every: int | None = None,
         keep_last: int | None = None,
         keep_every: int | None = None,
-    ):
+    ) -> StageFn:
         """Register the continuous-checkpoint pipeline stage.
 
         Splices ``snapshot`` after ``train`` via :meth:`register_stage`,
@@ -949,13 +1196,13 @@ class HPSCluster:
         if full_every is not None and full_every < 1:
             raise ValueError("full_every must be >= 1")
         os.makedirs(directory, exist_ok=True)
-        state = {
+        state: dict[str, Any] = {
             "dirty": [[] for _ in range(self.n_nodes)],
             "dirty_known": True,
             "since_full": 0,
         }
 
-        def stage_snapshot(ctx) -> float:
+        def stage_snapshot(ctx: RoundContext) -> float:
             # Accumulate the round's MEM write set straight from the plan
             # (write-back local partition + owner-queue applies).
             if ctx.plan is not None:
@@ -993,15 +1240,23 @@ class HPSCluster:
                 state["since_full"] += 1
             state["dirty"] = [[] for _ in range(self.n_nodes)]
             state["dirty_known"] = True
-            stage_snapshot.history.append(stats)
+            stage_snapshot.history.append(stats)  # type: ignore[attr-defined]
             if keep_last is not None:
                 prune_checkpoints(
                     directory, keep_last=keep_last, keep_every=keep_every
                 )
             return stats.seconds
 
-        stage_snapshot.history = []
-        self.register_stage("snapshot", stage_snapshot, after="train")
+        stage_snapshot.history = []  # type: ignore[attr-defined]
+        reads, writes = STAGE_EFFECTS["snapshot"]
+        self.register_stage(
+            "snapshot",
+            stage_snapshot,
+            after="train",
+            reads=reads,
+            writes=writes,
+            contracts=SNAPSHOT_OVERLAP_CONTRACTS,
+        )
         return stage_snapshot
 
     @classmethod

@@ -41,14 +41,26 @@ __all__ = ["PipelinedEngine", "StageDef", "EngineRun", "StageEvent"]
 
 @dataclass(frozen=True)
 class StageDef:
-    """One pipeline stage: a name plus an executable closure.
+    """One pipeline stage: a name, an executable closure, and effects.
 
     ``fn(batch_index)`` performs the stage's real work for one batch and
-    returns its simulated duration in seconds.
+    returns its simulated duration in seconds.  ``reads`` / ``writes``
+    declare the named resources the closure may touch (the effect
+    vocabulary of :mod:`repro.analysis.effects`); the engine schedules
+    stages of *different* batches concurrently on the simulated clock,
+    so two stages whose effect sets conflict may only be registered
+    together under an explicit
+    :class:`~repro.analysis.effects.OverlapContract` — see
+    :func:`~repro.analysis.effects.check_stage_conflicts`, which
+    :meth:`~repro.core.cluster.HPSCluster.train_pipelined` runs over the
+    registered stage set before every pipelined run.  Empty effect sets
+    mean "touches nothing shared" and conflict with nothing.
     """
 
     name: str
     fn: Callable[[int], float]
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
 
 
 @dataclass(frozen=True)

@@ -119,7 +119,7 @@ class HPSNode:
         }
 
     def tier_deltas(
-        self, base: dict[str, dict], *, dirty_keys=None
+        self, base: dict[str, dict], *, dirty_keys: np.ndarray | None = None
     ) -> dict[str, dict]:
         """Per-tier diffs against a prior :meth:`tier_states` snapshot.
 

@@ -45,6 +45,10 @@ class SparseUpdate:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "keys", as_keys(self.keys))
+        # Gradient accumulation is deliberately float64: summation must be
+        # order-independent across ring/tree reduce topologies for the
+        # bit-exact parity oracles.
+        # repro: allow(f64-hot-path)
         g = np.asarray(self.grads, dtype=np.float64)
         object.__setattr__(self, "grads", g)
         if self.keys.shape[0] != g.shape[0]:
@@ -71,7 +75,8 @@ class SparseUpdate:
     @staticmethod
     def empty(dim: int) -> "SparseUpdate":
         return SparseUpdate(
-            np.empty(0, dtype=KEY_DTYPE), np.zeros((0, dim), dtype=np.float64)
+            np.empty(0, dtype=KEY_DTYPE),
+            np.zeros((0, dim), dtype=np.float64),  # repro: allow(f64-hot-path)
         )
 
 
@@ -84,6 +89,9 @@ def merge_updates(a: SparseUpdate, b: SparseUpdate) -> SparseUpdate:
     keys = np.concatenate([a.keys, b.keys])
     grads = np.concatenate([a.grads, b.grads])
     uniq, inv = compact_unique(keys, return_inverse=True)
+    # float64 merge buffer: shared-key gradient sums must not depend on
+    # the reduce order (bit-exact all-reduce parity).
+    # repro: allow(f64-hot-path)
     out = np.zeros((uniq.size,) + a.grads.shape[1:], dtype=np.float64)
     np.add.at(out, inv, grads)
     return SparseUpdate(uniq, out)

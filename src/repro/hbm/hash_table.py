@@ -176,6 +176,9 @@ class HashTable:
         if keys.size == 0:
             return
         uniq, inv = np.unique(keys, return_inverse=True)
+        # float64 scatter-add keeps duplicate-key delta sums independent
+        # of worker arrival order.
+        # repro: allow(f64-hot-path)
         summed = np.zeros((uniq.size, self.value_dim), dtype=np.float64)
         np.add.at(summed, inv, deltas)
         slots, found = self._locate(uniq)

@@ -225,13 +225,18 @@ class HBMPS:
         if self._planned is None or sync is None:
             keys, grads = self.grads.items()
             self.grads.clear()
+            # SparseUpdate carries float64 gradients by contract (see
+            # allreduce.SparseUpdate).
+            # repro: allow(f64-hot-path)
             return SparseUpdate(keys, grads.astype(np.float64))
         st = self._planned
         buf = st.grad_buf
         st.grad_buf = None
         if buf is None:
             buf = np.zeros((sync.keys.size, self.optimizer.dim), dtype=np.float32)
-        return SparseUpdate(sync.keys, buf.astype(np.float64))
+        return SparseUpdate(
+            sync.keys, buf.astype(np.float64)  # repro: allow(f64-hot-path)
+        )
 
     def apply_update(
         self, update: SparseUpdate, *, sync: NodeSyncPlan | None = None

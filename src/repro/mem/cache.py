@@ -501,6 +501,8 @@ class LRUCache(_SlabCache):
         if mode == "scalar":
             self.scalar_fallbacks += 1
             pairs = []
+            # Scalar-mode parity oracle replays the per-key reference
+            # policy on purpose.  # repro: allow(hot-loop)
             for i in range(keys.size):
                 pairs.extend(self.put(int(keys[i]), vals[i], pin=pin))
             return _as_pairs(pairs, self.value_dim)
@@ -837,6 +839,8 @@ class LFUCache(_SlabCache):
         if mode == "scalar" or (mode == "legacy" and has_dup):
             self.scalar_fallbacks += 1
             found = np.zeros(keys.size, dtype=bool)
+            # Per-key replay of the reference policy (parity oracle).
+            # repro: allow(hot-loop)
             for i in range(keys.size):
                 v = self.get(int(keys[i]))
                 if v is not None:
@@ -892,6 +896,7 @@ class LFUCache(_SlabCache):
             # have: any resident overwrite or duplicate in the batch.
             self.scalar_fallbacks += 1
             pairs = []
+            # repro: allow(hot-loop)
             for i in range(keys.size):
                 pairs.extend(self.put(int(keys[i]), vals[i], freq=freq))
             return _as_pairs(pairs, self.value_dim)
@@ -1347,6 +1352,8 @@ class CombinedCache:
         mode = self._admission_mode()
         if mode == "scalar":
             self.stats.scalar_fallbacks += 1
+            # Per-key replay of the reference policy (parity oracle).
+            # repro: allow(hot-loop)
             for i in range(keys.size):
                 v = self.get(int(keys[i]))
                 if v is not None:
@@ -1498,6 +1505,8 @@ class CombinedCache:
         if mode == "scalar":
             self.stats.scalar_fallbacks += 1
             flushed = []
+            # Per-key replay of the reference policy (parity oracle).
+            # repro: allow(hot-loop)
             for i in range(keys.size):
                 flushed.extend(self.put(int(keys[i]), vals[i], pin=pin))
             return _as_pairs(flushed, self.value_dim)

@@ -487,15 +487,19 @@ class MemPS:
         if rows is not None:
             if keys.size == 0:
                 return 0.0
+            # Gradients stay float64 through the optimizer (SparseUpdate
+            # contract; order-independent accumulation).
+            # repro: allow(f64-hot-path)
             grads = np.asarray(grads, dtype=np.float64)
             new_values = self.optimizer.apply(self.cache.values_at(rows), grads)
             self.cache.update_rows(rows, new_values)
             return 0.0
         if pre_owned:
-            grads = np.asarray(grads, dtype=np.float64)
+            grads = np.asarray(grads, dtype=np.float64)  # repro: allow(f64-hot-path)
         else:
             own = self.owns(keys)
             keys = keys[own]
+            # repro: allow(f64-hot-path)
             grads = np.asarray(grads, dtype=np.float64)[own]
         if keys.size == 0:
             return 0.0

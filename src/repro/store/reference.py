@@ -19,6 +19,9 @@ either implementation.
 
 Do not use these outside tests and benchmarks.
 """
+# This file *is* the per-key exception: scalar reference caches kept as
+# the parity oracle for the vectorized MEM tier.
+# repro: allow-file(hot-loop)
 
 from __future__ import annotations
 

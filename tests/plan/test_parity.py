@@ -12,6 +12,7 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.analysis.tracer import EffectTracer
 from repro.core.cluster import HPSCluster
 
 N_ROUNDS = 20
@@ -66,7 +67,12 @@ class TestPlannedParity:
         a = _build(tiny_spec, tiny_pressured, use_plan=False)
         b = _build(tiny_spec, tiny_pressured, use_plan=True)
         stats_a = a.train(N_ROUNDS)
-        run = b.train_pipelined(N_ROUNDS)
+        # The pipelined run is effect-traced: every stage must stay
+        # inside its declared read/write sets, and the tracing proxies
+        # must not perturb parity (the assertions below are unchanged).
+        with EffectTracer(b) as tracer:
+            run = b.train_pipelined(N_ROUNDS)
+        assert tracer.violations == []
         _assert_stats_parity(stats_a, run.stats)
         _assert_param_parity(a, b)
         # Pipelining still overlaps: strictly below the serial makespan.
