@@ -19,7 +19,14 @@ asserts
   inside the non-blocking CI perf-smoke job;
 * checkpointing stays cheap and lossless — the recovery scenario's
   parity flags hold on every fresh run (its byte/seconds claims are
-  deterministic and pinned in tests/plan/test_bench_schema.py).
+  deterministic and pinned in tests/plan/test_bench_schema.py);
+* fault recovery stays lossless and bounded — the faults scenario's
+  healed runs are bit-identical to their fault-free twins on every
+  fresh run, and (inside the perf-smoke job) the fresh downtime
+  fraction never exceeds the committed baseline's by more than the
+  regression tolerance.  Its rows are simulated-seconds based and
+  wall-clock free, so the rounds/s comparison skips them like the
+  recovery rows.
 
 Set ``BENCH_WRITE=1`` to refresh ``BENCH_e2e.json`` at the repo root
 (the CI perf job does, and uploads it as an artifact).
@@ -91,6 +98,7 @@ def test_e2e_throughput(benchmark):
     default = scenarios["default"]
     pressure = scenarios["pressure"]
     recovery = scenarios["recovery"]
+    faults = scenarios["faults"]
     print(
         f"planned-over-unplanned: "
         f"{default['speedup_planned_over_unplanned']:.2f}x, "
@@ -111,6 +119,10 @@ def test_e2e_throughput(benchmark):
     assert pressure["prefetch_seconds_parity"] is True
     assert recovery["snapshot_parameter_parity"] is True
     assert recovery["recovery_parameter_parity"] is True
+    # The fault-tolerance invariant: every fault in the bench schedule
+    # is recoverable, so the supervised runs must heal to bit-identical
+    # parameters.
+    assert faults["parameter_parity"] is True
     # The admission engine never degrades to the whole-batch per-key
     # replay (the acceptance gate for the bulk-exact cache path).
     assert pressure["bulk_scalar_fallbacks"] == 0
@@ -138,12 +150,31 @@ def test_e2e_throughput(benchmark):
         }
         for base_scenario in baseline_snapshot.get("scenarios", []):
             for base_row in base_scenario.get("rows", []):
-                if "rounds_per_s" not in base_row:
-                    continue  # recovery rows carry no wall-clock fields
                 fresh = fresh_rows.get(
                     (base_scenario["name"], base_row["mode"])
                 )
                 if fresh is None:
+                    continue
+                if "rounds_per_s" not in base_row:
+                    # Recovery/faults rows carry no wall-clock fields;
+                    # the faults rows instead gate on downtime fraction
+                    # (simulated, so any drift is a semantic change,
+                    # not machine noise — the tolerance only absorbs
+                    # deliberate workload retuning).
+                    if "downtime_fraction" in base_row:
+                        ceiling = (
+                            base_row["downtime_fraction"]
+                            * (1.0 + REGRESSION_TOLERANCE)
+                            + 1e-9
+                        )
+                        assert fresh["downtime_fraction"] <= ceiling, (
+                            f"{base_scenario['name']}/{base_row['mode']} "
+                            f"downtime regressed: "
+                            f"{fresh['downtime_fraction']:.4f} > "
+                            f"{ceiling:.4f} (committed "
+                            f"{base_row['downtime_fraction']:.4f} "
+                            f"+ tolerance)"
+                        )
                     continue
                 floor = base_row["rounds_per_s"] * (1.0 - REGRESSION_TOLERANCE)
                 assert fresh["rounds_per_s"] >= floor, (

@@ -22,8 +22,13 @@ Resources are plain strings.  The cluster's vocabulary:
     the dense tower replicas and their optimizer state;
 ``ledger``
     per-node simulated-cost accounting (commutative — see below);
+``fault``
+    fault-injection state — the seeded schedule's draw streams and the
+    incident log of :mod:`repro.faults` (commutative — see below);
 ``ckpt``
-    the checkpoint directory and the in-memory delta base;
+    the checkpoint directory and the in-memory delta base (read by the
+    cache-touching stages when an exhausted SSD read quarantines and
+    re-materializes a payload from the newest checkpoint chain);
 ``stats``
     the cluster's round history / round counter.
 
@@ -90,7 +95,12 @@ __all__ = [
 
 #: Resources whose writes are order-independent appends (accumulators):
 #: concurrent writers commute, so they never constitute a conflict.
-COMMUTATIVE_RESOURCES: frozenset[str] = frozenset({"ledger"})
+#: ``ledger`` is cost accounting; ``fault`` is the fault-injection state
+#: (the schedule's per-(kind, node) RNG streams plus the incident log,
+#: :mod:`repro.faults`) — both only ever advance/append, and the engine
+#: executes closures in canonical order, so their final state is
+#: schedule-independent.
+COMMUTATIVE_RESOURCES: frozenset[str] = frozenset({"ledger", "fault"})
 
 #: Resources with this prefix are per-round instances — two overlapping
 #: stages always belong to different rounds and touch different copies.

@@ -21,6 +21,10 @@ rule id          invariant
 ``f64-hot-path`` hot-path arithmetic does not introduce float64
                  temporaries (``astype(np.float64)`` / ``dtype=float64``)
                  outside the explicitly-allowed bit-exact accumulations
+``typed-faults`` fault-injection code (``faults/``) never raises or
+                 catches bare ``Exception``/``RuntimeError`` — the
+                 supervisor's recovery classification depends on every
+                 failure carrying a typed ``FaultError`` scope
 ===============  ======================================================
 
 Every escape is an in-source ``# repro: allow(<rule>)`` with the
@@ -40,6 +44,7 @@ __all__ = [
     "SeededRngRule",
     "SimTimeRule",
     "Float64HotPathRule",
+    "TypedFaultsRule",
     "DEFAULT_RULES",
 ]
 
@@ -358,10 +363,74 @@ class Float64HotPathRule:
                     break
 
 
+class TypedFaultsRule:
+    """Fault-layer failures stay typed end to end."""
+
+    id = "typed-faults"
+    title = "faults/ must not raise or catch bare Exception/RuntimeError"
+    rationale = (
+        "The supervisor classifies escaped failures by their FaultError "
+        "scope (round / node / global) to pick the cheapest safe "
+        "recovery; a bare Exception or RuntimeError raised inside the "
+        "fault layer would bypass that classification, and a bare "
+        "`except Exception` would swallow the typed signal before the "
+        "supervisor sees it."
+    )
+
+    _BARE = frozenset({"Exception", "RuntimeError"})
+
+    def applies_to(self, relpath: str) -> bool:
+        return _repro_subdir(relpath) == "faults"
+
+    def _bare_name(self, node: ast.expr | None) -> str | None:
+        """The offending name if ``node`` denotes a bare builtin error."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Call):
+            node = node.func
+        name = _terminal_name(node)
+        return name if name in self._BARE else None
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                hit = self._bare_name(node.exc)
+                if hit is not None:
+                    yield RawFinding(
+                        node.lineno,
+                        f"bare `raise {hit}` in fault-injection code; "
+                        "raise a typed repro.faults.errors.FaultError "
+                        "subclass so the supervisor can classify it",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield RawFinding(
+                        node.lineno,
+                        "bare `except:` in fault-injection code; catch "
+                        "the specific FaultError type instead",
+                    )
+                    continue
+                types = (
+                    node.type.elts
+                    if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+                for t in types:
+                    hit = self._bare_name(t)
+                    if hit is not None:
+                        yield RawFinding(
+                            node.lineno,
+                            f"`except {hit}` in fault-injection code "
+                            "swallows the typed fault signal; catch the "
+                            "specific FaultError subclass",
+                        )
+
+
 DEFAULT_RULES = (
     HotLoopRule(),
     AtomicWriteRule(),
     SeededRngRule(),
     SimTimeRule(),
     Float64HotPathRule(),
+    TypedFaultsRule(),
 )

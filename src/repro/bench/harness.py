@@ -49,6 +49,7 @@ __all__ = [
     "run_checkpoint_overhead",
     "run_e2e_throughput",
     "BENCH_E2E_SCHEMA",
+    "FAULTS_WORKLOAD",
     "PRESSURE_WORKLOAD",
     "RECOVERY_WORKLOAD",
     "small_cluster_config",
@@ -64,7 +65,11 @@ __all__ = [
 #: ``recovery-downtime`` rows (simulated-seconds based, so the committed
 #: values are deterministic); its rows intentionally do not carry the
 #: wall-clock throughput fields of the other scenarios.
-BENCH_E2E_SCHEMA = "bench-e2e/v4"
+#: v5: new ``faults`` scenario — a supervised run under a seeded mixed
+#: fault schedule per execution mode, reporting MTTR, downtime fraction,
+#: retry overhead, and bytes re-read.  Like the recovery rows these are
+#: simulated-seconds based (deterministic, no wall-clock fields).
+BENCH_E2E_SCHEMA = "bench-e2e/v5"
 
 #: The memory-pressure e2e workload: cache capacity far below the hot key
 #: set, an LFU-heavy split so LFU→LRU promotion storms form an eviction
@@ -98,6 +103,32 @@ RECOVERY_WORKLOAD = {
     "kill_node": 1,
     "full_kill_after_round": 4,
     "partial_kill_after_round": 5,
+}
+
+#: The fault e2e workload: the pressured recipe from the fault soak
+#: suite — a MEM budget low enough that real state spills to SSD within
+#: the run (so the quarantine path is reachable) — under per-operation
+#: fault rates calibrated so the shared ``max_faults`` budget spreads
+#: across every surface (high-frequency draw sites get low rates).
+FAULTS_WORKLOAD = {
+    "n_sparse": 5_000,
+    "mem_capacity_params": 1_400,
+    "batch_size": 512,
+    "n_rounds": 10,
+    "checkpoint_every": 2,
+    "schedule_seed": 7777,
+    "max_faults": 64,
+    "rates": {
+        "ssd_read_error": 0.6,
+        "ssd_torn_payload": 0.4,
+        "ssd_write_stall": 0.5,
+        "hdfs_timeout": 0.08,
+        "hdfs_read_failure": 0.08,
+        "comm_allreduce": 0.04,
+        "hbm_dispatch": 0.01,
+        "straggler": 0.08,
+        "node_crash": 0.02,
+    },
 }
 
 #: BatchStats fields that intentionally differ between the bulk engine
@@ -910,6 +941,109 @@ def _recovery_scenario(*, n_rounds: int, queue_capacity, seed: int) -> dict:
     }
 
 
+def _faults_scenario(*, seed: int) -> dict:
+    """Supervised training under a seeded mixed fault schedule.
+
+    One row per execution mode (lockstep, pipelined), each a supervised
+    run of :data:`FAULTS_WORKLOAD` under a :meth:`FaultSchedule
+    <repro.faults.FaultSchedule>` mixing every fault surface.  Reported
+    numbers — MTTR, downtime fraction, retry overhead, straggler drag,
+    bytes re-read — all come off the simulated clock and the
+    ``fault_retry``/``fault_straggler`` ledger lines, so the committed
+    rows are deterministic and double as regression gates.  The rows
+    deliberately carry no wall-clock fields: the perf-smoke comparison
+    skips them just as it skips the recovery rows.
+
+    ``parameter_parity`` is the tentpole invariant in artifact form:
+    every fault in the schedule is recoverable, so both healed runs must
+    be bit-identical to their fault-free twins.
+    """
+    import tempfile
+
+    from repro.faults import FaultSchedule, Supervisor
+    from repro.utils.rng import derive_seed
+
+    wl = FAULTS_WORKLOAD
+    spec = functional_model(n_sparse=wl["n_sparse"])
+    cfg = small_cluster_config(
+        mem_capacity_params=wl["mem_capacity_params"],
+        ssd_file_capacity=128,
+        seed=seed,
+    )
+
+    def build() -> HPSCluster:
+        return HPSCluster(
+            spec, cfg, functional_batch_size=wl["batch_size"]
+        )
+
+    rows = []
+    parity = True
+    kinds_fired: set[str] = set()
+    for mode, pipelined in (
+        ("faults-lockstep", False),
+        ("faults-pipelined", True),
+    ):
+        twin = build()
+        if pipelined:
+            twin.train_pipelined(wl["n_rounds"])
+        else:
+            twin.train(wl["n_rounds"])
+        schedule = FaultSchedule(
+            derive_seed(wl["schedule_seed"], "bench", mode),
+            rates=wl["rates"],
+            max_faults=wl["max_faults"],
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            run = Supervisor(
+                tmp, checkpoint_every=wl["checkpoint_every"]
+            ).run(build(), wl["n_rounds"], schedule, pipelined=pipelined)
+        totals = run.totals
+        kinds_fired |= set(totals["fault_counts"])
+        kinds_fired |= {r.kind for r in run.reports}
+        rows.append(
+            {
+                "mode": mode,
+                "faults_fired": int(totals["faults_fired"]),
+                "retries": int(totals["retries"]),
+                "recoveries": int(run.recoveries),
+                "reports": len(run.reports),
+                "training_sim_seconds": float(run.training_seconds),
+                "restore_sim_seconds": float(run.restore_seconds),
+                "replay_sim_seconds": float(run.replay_seconds),
+                "downtime_sim_seconds": float(run.downtime_seconds),
+                "mttr_seconds": float(run.mttr_seconds),
+                "downtime_fraction": float(run.downtime_fraction),
+                "retry_overhead_seconds": float(
+                    sum(
+                        n.ledger.total("fault_retry")
+                        for n in run.cluster.nodes
+                    )
+                ),
+                "straggler_seconds": float(
+                    sum(
+                        n.ledger.total("fault_straggler")
+                        for n in run.cluster.nodes
+                    )
+                ),
+                "bytes_reread": int(totals["bytes_reread"]),
+            }
+        )
+        parity = parity and _parameter_parity(twin, (run.cluster,))
+    return {
+        "name": "faults",
+        "workload": {
+            "model": spec.name,
+            "n_nodes": cfg.n_nodes,
+            "gpus_per_node": cfg.gpus_per_node,
+            "seed": seed,
+            **wl,
+        },
+        "rows": rows,
+        "parameter_parity": parity,
+        "fault_kinds_fired": sorted(kinds_fired),
+    }
+
+
 def run_e2e_throughput(
     spec: ModelSpec | None = None,
     *,
@@ -945,6 +1079,13 @@ def run_e2e_throughput(
       replay against single-node partial restore under the failure
       injector.  Both are simulated-seconds/bytes based and therefore
       deterministic; the rows carry no wall-clock throughput fields.
+    * **faults** — the fault-tolerance claims (``FAULTS_WORKLOAD``): a
+      supervised run per execution mode under a seeded schedule mixing
+      every fault surface, reporting MTTR, downtime fraction, retry
+      overhead, straggler drag, and bytes re-read off the simulated
+      clock — deterministic, wall-clock-free rows, with
+      ``parameter_parity`` asserting the healed runs are bit-identical
+      to their fault-free twins.
 
     Trained parameters must be bit-identical across every mode of a
     scenario (and simulated seconds within each pressure parity
@@ -969,6 +1110,7 @@ def run_e2e_throughput(
             _recovery_scenario(
                 n_rounds=n_rounds, queue_capacity=queue_capacity, seed=seed
             ),
+            _faults_scenario(seed=seed),
         ],
     }
     if write_path is not None:

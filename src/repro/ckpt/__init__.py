@@ -28,6 +28,7 @@ from repro.ckpt.format import (
     FORMAT_VERSION,
     MANIFEST_NAME,
     CheckpointError,
+    CheckpointScanWarning,
     latest_checkpoint,
     prune_checkpoints,
     read_manifest,
@@ -35,6 +36,7 @@ from repro.ckpt.format import (
 
 __all__ = [
     "CheckpointError",
+    "CheckpointScanWarning",
     "CheckpointStats",
     "FORMAT_VERSION",
     "FailureInjector",

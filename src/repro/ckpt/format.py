@@ -30,12 +30,14 @@ import hashlib
 import json
 import os
 import shutil
+import warnings
 
 from repro.utils.io import atomic_write_bytes
 
 __all__ = [
     "CHECKPOINT_DIR_PREFIX",
     "CheckpointError",
+    "CheckpointScanWarning",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "atomic_write_bytes",
@@ -67,6 +69,45 @@ CHECKPOINT_DIR_PREFIX = "round_"
 
 class CheckpointError(RuntimeError):
     """A checkpoint directory is missing, incomplete, or incompatible."""
+
+
+class CheckpointScanWarning(UserWarning):
+    """A snapshot subdirectory was skipped during a directory scan.
+
+    Scans (:func:`latest_checkpoint`, :func:`prune_checkpoints`) race
+    benignly with concurrent pruning and with crash debris: a directory
+    whose manifest disappears (or is torn) between ``os.listdir`` and
+    the manifest read is not an error — the snapshot is simply not
+    available — but the skip is *recorded* via this warning category so
+    a supervisor's scan never silently narrows its restore options.
+    """
+
+
+def _scan_committed(directory: str) -> list[tuple[str, str, dict]]:
+    """All committed snapshot subdirectories of ``directory``.
+
+    Returns ``(entry, path, manifest)`` triples in name order.  A
+    :data:`CHECKPOINT_DIR_PREFIX` subdirectory whose manifest cannot be
+    read — missing (concurrently pruned, or uncommitted crash debris),
+    torn, or version-incompatible — is skipped with a
+    :class:`CheckpointScanWarning` instead of aborting the scan.
+    """
+    committed: list[tuple[str, str, dict]] = []
+    for entry in sorted(os.listdir(directory)):
+        sub = os.path.join(directory, entry)
+        if not (entry.startswith(CHECKPOINT_DIR_PREFIX) and os.path.isdir(sub)):
+            continue
+        try:
+            manifest = read_manifest(sub)
+        except CheckpointError as exc:
+            warnings.warn(
+                f"skipping snapshot directory {sub!r} during scan: {exc}",
+                CheckpointScanWarning,
+                stacklevel=3,
+            )
+            continue
+        committed.append((entry, sub, manifest))
+    return committed
 
 
 def node_shard_name(node_id: int) -> str:
@@ -246,8 +287,9 @@ def prune_checkpoints(
     record goes first (:func:`invalidate`), so an interrupted prune
     leaves an *uncommitted* directory that every reader already rejects
     — never a half-valid snapshot.  Uncommitted directories (crash
-    debris) are left untouched for inspection.  Returns the removed
-    paths, oldest first.
+    debris) are left untouched for inspection, each recorded with a
+    :class:`CheckpointScanWarning`.  Returns the removed paths, oldest
+    first.
     """
     if keep_last < 1:
         raise ValueError("keep_last must be >= 1")
@@ -257,14 +299,7 @@ def prune_checkpoints(
         return []
     committed: list[tuple[int, str]] = []
     manifests: dict[str, dict] = {}
-    for entry in sorted(os.listdir(directory)):
-        sub = os.path.join(directory, entry)
-        if not (entry.startswith(CHECKPOINT_DIR_PREFIX) and os.path.isdir(sub)):
-            continue
-        try:
-            manifest = read_manifest(sub)
-        except CheckpointError:
-            continue
+    for entry, sub, manifest in _scan_committed(directory):
         committed.append((int(manifest["rounds_completed"]), sub))
         manifests[entry] = manifest
     committed.sort()
@@ -300,19 +335,14 @@ def latest_checkpoint(directory: str, upto_round: int | None = None) -> str | No
     trainer and :class:`~repro.ckpt.failure.FailureInjector` write),
     keeping only those with a committed manifest at
     ``rounds_completed <= upto_round``; returns the path of the newest,
-    or None.
+    or None.  A directory whose manifest disappears (or is torn) mid-scan
+    — e.g. a concurrent prune racing the scan — is skipped with a
+    recorded :class:`CheckpointScanWarning` instead of aborting.
     """
     if not os.path.isdir(directory):
         return None
     best: tuple[int, str] | None = None
-    for entry in sorted(os.listdir(directory)):
-        sub = os.path.join(directory, entry)
-        if not (entry.startswith(CHECKPOINT_DIR_PREFIX) and os.path.isdir(sub)):
-            continue
-        try:
-            manifest = read_manifest(sub)
-        except CheckpointError:
-            continue
+    for _, sub, manifest in _scan_committed(directory):
         rounds = int(manifest["rounds_completed"])
         if upto_round is not None and rounds > upto_round:
             continue

@@ -108,31 +108,36 @@ class StageSpec:
 
 #: Declared effect sets of the built-in stages.  ``round:plan`` is the
 #: per-round plan/context (never shared across overlapping stages);
-#: ``ledger`` is commutative cost accounting (appends commute).
+#: ``ledger`` is commutative cost accounting (appends commute), and so
+#: is ``fault`` — the fault-injection state (per-(kind, node) schedule
+#: streams plus the incident log) every armed stage may advance; the
+#: cache-touching stages additionally *read* ``ckpt`` because an
+#: exhausted SSD read quarantines by re-materializing the payload from
+#: the newest checkpoint chain (:mod:`repro.faults.inject`).
 STAGE_EFFECTS: dict[str, tuple[frozenset[str], frozenset[str]]] = {
     "read": (
         frozenset(),
-        frozenset({"stream", "round:plan", "ledger"}),
+        frozenset({"stream", "round:plan", "ledger", "fault"}),
     ),
     "prefetch": (
-        frozenset({"round:plan"}),
-        frozenset({"mem", "ssd", "ledger"}),
+        frozenset({"round:plan", "ckpt"}),
+        frozenset({"mem", "ssd", "ledger", "fault"}),
     ),
     "prepare": (
-        frozenset({"round:plan"}),
-        frozenset({"mem", "ssd", "ledger"}),
+        frozenset({"round:plan", "ckpt"}),
+        frozenset({"mem", "ssd", "ledger", "fault"}),
     ),
     "load": (
         frozenset({"round:plan"}),
-        frozenset({"hbm", "ledger"}),
+        frozenset({"hbm", "ledger", "fault"}),
     ),
     "train": (
-        frozenset({"round:plan"}),
-        frozenset({"mem", "ssd", "hbm", "model", "ledger", "stats"}),
+        frozenset({"round:plan", "ckpt"}),
+        frozenset({"mem", "ssd", "hbm", "model", "ledger", "stats", "fault"}),
     ),
     "snapshot": (
         frozenset({"mem", "ssd", "hbm", "model", "stats", "stream"}),
-        frozenset({"ckpt", "ledger"}),
+        frozenset({"ckpt", "ledger", "fault"}),
     ),
 }
 
@@ -197,17 +202,20 @@ SNAPSHOT_OVERLAP_CONTRACTS: tuple[OverlapContract, ...] = (
     OverlapContract(
         "prefetch",
         "snapshot",
-        frozenset({"mem", "ssd"}),
+        frozenset({"mem", "ssd", "ckpt"}),
         "snapshot(b) exports the MEM/SSD state before prefetch(b+1) "
         "executes (canonical order); the clock-only overlap is the "
-        "pipeline shadow the snapshot stage exists to exploit",
+        "pipeline shadow the snapshot stage exists to exploit — and any "
+        "quarantine re-read prefetch(b+1) performs resolves the "
+        "checkpoint chain only after snapshot(b)'s manifest committed",
     ),
     OverlapContract(
         "prepare",
         "snapshot",
-        frozenset({"mem", "ssd"}),
+        frozenset({"mem", "ssd", "ckpt"}),
         "as for prefetch: the export completes before prepare(b+1) "
-        "mutates cache state in execution order",
+        "mutates cache state (or re-reads the committed chain) in "
+        "execution order",
     ),
     OverlapContract(
         "load",
@@ -219,11 +227,12 @@ SNAPSHOT_OVERLAP_CONTRACTS: tuple[OverlapContract, ...] = (
     OverlapContract(
         "train",
         "snapshot",
-        frozenset({"mem", "ssd", "hbm", "model", "stats"}),
+        frozenset({"mem", "ssd", "hbm", "model", "stats", "ckpt"}),
         "snapshot(b) runs between train(b) and train(b+1) in canonical "
         "order, so the exported state is exactly round b's boundary "
         "state (PR 7 asserts lockstep and pipelined snapshot histories "
-        "bit-identical)",
+        "bit-identical); train(b+1)'s quarantine re-reads see only "
+        "committed manifests for the same reason",
     ),
 )
 
@@ -458,6 +467,10 @@ class HPSCluster:
         #: pre-wrap stage registry, held while :meth:`wrap_stages`
         #: instrumentation is installed (None = not wrapped)
         self._unwrapped_stages: list[StageSpec] | None = None
+        #: cluster-level fault guard for the cross-node collectives
+        #: (:class:`repro.faults.policy.FaultArm`, installed by
+        #: :func:`repro.faults.inject.inject_faults`; None = fault-free)
+        self._fault_arm: Any | None = None
         #: the pipeline's stages (:class:`StageSpec`: name, closure,
         #: declared effects), in execution order.  The four Algorithm 1
         #: stages are fixed; optional stages splice in via
@@ -856,6 +869,14 @@ class HPSCluster:
                 )
                 for i, node in enumerate(nodes)
             ]
+            if self._fault_arm is not None:
+                # Guard the collective *before* it runs: a transient comm
+                # fault costs retries/backoff, an exhausted one escapes
+                # with global scope while the allreduce (a pure function
+                # of the drained gradients) has not yet been applied.
+                allreduce_s += self._fault_arm.guard(
+                    {"comm_allreduce": 0.0}, scope="global"
+                )
             global_update, t_ar = hierarchical_allreduce(
                 node_updates,
                 networks=[node.network for node in nodes],
@@ -1058,6 +1079,27 @@ class HPSCluster:
                 "parameters staged in HBM (mid-pipeline state precedes "
                 "the MEM-PS write-back)"
             )
+
+    def abort_round(self) -> None:
+        """Discard a partially-executed round's in-flight MEM state.
+
+        The recovery hook for a fault that escaped from ``read``,
+        ``prefetch`` or ``prepare``: those stages mutate only stream
+        counters and cache *residency* (which rows are resident, pinned,
+        or queued for overflow) — never parameter values, which change
+        only in ``train``'s write-back.  Releasing the pins, settling
+        overflow to SSD, and dropping the cross-round prefetch union
+        therefore returns every tier to a value-exact round boundary, so
+        the aborted round can be retried from its read stage (or a
+        partial ``restore_node`` applied) without forking parameters.
+
+        Only valid while no round has working parameters staged in HBM —
+        past ``stage_load`` the freshest values live only in the GPU
+        hash tables and a full restore is the sole safe recovery.
+        """
+        self._require_round_boundary("abort_round")
+        for node in self.nodes:
+            node.mem_ps.abort_round()
 
     def lookup_embeddings(self, keys: np.ndarray) -> np.ndarray:
         """Read-only embedding lookup across owners (for evaluation).

@@ -56,6 +56,9 @@ class HDFSStream:
         self.ledger = ledger if ledger is not None else CostLedger()
         self.batches_read = 0
         self.bytes_read = 0
+        #: fault-injection guard for batch reads
+        #: (:class:`repro.faults.policy.FaultArm`; None = fault-free)
+        self.faults = None
 
     def transfer_seconds(self, n_bytes: int) -> float:
         """Simulated seconds to move ``n_bytes`` to/from the distributed
@@ -69,13 +72,26 @@ class HDFSStream:
         return self.transfer_seconds(batch.nbytes_raw_log())
 
     def read(self, global_index: int) -> TimedBatch:
-        """Fetch one batch by global index, charging the ledger."""
+        """Fetch one batch by global index, charging the ledger.
+
+        When armed, transfer timeouts (a timed-out attempt wastes the
+        whole transfer) and transient read failures (fail fast, backoff
+        only) retry under the policy *before* the stream's counters
+        advance — an exhausted fault escapes with round scope and the
+        retried round re-reads the identical batch (batches are pure
+        functions of the global index, so a retry cannot fork the data).
+        """
         batch = self.generator.batch(global_index, self.batch_size)
         t = self.read_time(batch)
+        extra = 0.0
+        if self.faults is not None:
+            extra = self.faults.guard(
+                {"hdfs_timeout": t, "hdfs_read_failure": 0.0}, scope="round"
+            )
         self.ledger.add("hdfs_read", t)
         self.batches_read += 1
         self.bytes_read += batch.nbytes_raw_log()
-        return TimedBatch(global_index, batch, t)
+        return TimedBatch(global_index, batch, t + extra)
 
     def stream(self, n_rounds: int):
         """Yield this node's share of ``n_rounds`` global rounds.

@@ -1,0 +1,444 @@
+"""Self-healing training supervisor.
+
+:class:`Supervisor` drives a cluster through ``n_rounds`` of training
+under a seeded :class:`~repro.faults.schedule.FaultSchedule`, absorbing
+whatever escapes the retry layer.  It keeps a periodic checkpoint
+cadence, classifies every escaped
+:class:`~repro.faults.errors.FaultError` by its recovery scope, and
+applies the cheapest safe action:
+
+``retry_round``
+    a round-scoped fault (HDFS exhaustion) detected in lockstep mode
+    before any durable mutation: discard the round's in-flight
+    residency (:meth:`~repro.core.cluster.HPSCluster.abort_round`) and
+    re-run the same round — batches are pure functions of the global
+    index, so the retry reads identical data;
+``partial_restore``
+    a node-scoped fault (lost SSD payload, boundary node crash) while
+    the survivors sit exactly at the newest checkpoint's round: rebuild
+    the one node via
+    :meth:`~repro.core.cluster.HPSCluster.restore_node`, zero replay;
+``full_restore``
+    everything else (global scope, pipelined escapes, node faults away
+    from a checkpoint boundary): rebuild the whole cluster from the
+    newest checkpoint and replay the lost rounds.
+
+The invariant the soak suite enforces: any schedule whose faults are
+all recoverable yields **bit-identical** final parameters to the
+fault-free run.  The classification above preserves it by construction
+— read/prefetch/prepare mutate only residency (never values), partial
+restore rebuilds a node from the round boundary the survivors are at,
+and a full restore replays rounds that are pure functions of
+``(seed, round_index)``.
+
+Time accounting is all simulated: ``training_seconds`` is productive
+round time, ``replay_seconds`` re-trained rounds after a full restore,
+``restore_seconds`` checkpoint read-back — the latter two are downtime.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.ckpt.format import checkpoint_dir_name
+from repro.faults.errors import FaultError, UnrecoverableFaultError
+from repro.faults.inject import FaultInjection
+from repro.faults.policy import FaultIncident, RetryPolicy
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["FaultReport", "SupervisedRun", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """One incident the supervisor witnessed, round-stamped.
+
+    ``downtime_seconds`` is the simulated time the incident cost: retry
+    backoff + wasted attempts for absorbed faults, restore + replay time
+    for escalated ones.
+    """
+
+    round: int
+    surface: str
+    kind: str
+    node: int | None
+    #: "retried" | "stall" | "straggler" | "quarantine" (absorbed by the
+    #: arms) or "retry_round" | "partial_restore" | "full_restore"
+    #: (supervisor escalations)
+    action: str
+    stage: str | None = None
+    retries: int = 0
+    downtime_seconds: float = 0.0
+    replay_rounds: int = 0
+    bytes_reread: int = 0
+
+
+@dataclass
+class SupervisedRun:
+    """Outcome of one :meth:`Supervisor.run`."""
+
+    #: the cluster that finished the run (a *different* object from the
+    #: one passed in whenever a full restore happened)
+    cluster: object
+    reports: tuple[FaultReport, ...]
+    stats: list = field(default_factory=list)
+    rounds: int = 0
+    training_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    restore_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    recoveries: int = 0
+    totals: dict = field(default_factory=dict)
+
+    @property
+    def downtime_seconds(self) -> float:
+        """Simulated seconds lost to recovery (restores + replay)."""
+        return self.restore_seconds + self.replay_seconds
+
+    @property
+    def mttr_seconds(self) -> float:
+        """Mean time to repair: downtime per escalated recovery."""
+        return self.downtime_seconds / max(1, self.recoveries)
+
+    @property
+    def downtime_fraction(self) -> float:
+        """Downtime over total simulated run time."""
+        denom = self.training_seconds + self.downtime_seconds
+        return self.downtime_seconds / denom if denom else 0.0
+
+
+class Supervisor:
+    """Checkpoint-cadenced, fault-classifying training driver.
+
+    ``directory`` is the checkpoint root: ``round_<NNNNNN>`` snapshot
+    chains accumulate there (an immediate baseline snapshot makes every
+    subsequent fault recoverable), and the injection layer uses the same
+    root for SSD quarantine re-materialization.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        checkpoint_every: int = 2,
+        policy: RetryPolicy | None = None,
+        queue_capacity: int | tuple[int, ...] = 2,
+        restore_kwargs: dict | None = None,
+        max_recoveries: int = 32,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if max_recoveries < 1:
+            raise ValueError("max_recoveries must be >= 1")
+        self.directory = directory
+        self.checkpoint_every = checkpoint_every
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.queue_capacity = queue_capacity
+        self.restore_kwargs = dict(restore_kwargs) if restore_kwargs else {}
+        self.max_recoveries = max_recoveries
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, cluster, checkpoints: dict[int, str]) -> float:
+        rc = cluster.rounds_completed
+        if rc in checkpoints:
+            return 0.0
+        target = os.path.join(self.directory, checkpoint_dir_name(rc))
+        stats = cluster.save_checkpoint(target, mode="auto")
+        checkpoints[rc] = target
+        return stats.seconds
+
+    @staticmethod
+    def _stamp(
+        incidents: list[FaultIncident], round_index: int
+    ) -> list[FaultReport]:
+        return [
+            FaultReport(
+                round=round_index,
+                surface=i.surface,
+                kind=i.kind,
+                node=i.node,
+                action=i.action,
+                stage=i.stage,
+                retries=i.retries,
+                downtime_seconds=i.seconds,
+                bytes_reread=i.bytes_reread,
+            )
+            for i in incidents
+        ]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cluster,
+        n_rounds: int,
+        schedule: FaultSchedule,
+        *,
+        pipelined: bool = False,
+    ) -> SupervisedRun:
+        """Train ``n_rounds`` under ``schedule``, healing as needed.
+
+        Returns the :class:`SupervisedRun`; raises
+        :class:`~repro.faults.errors.UnrecoverableFaultError` only when
+        the recovery budget is exceeded (a fault storm the configured
+        ``max_recoveries`` cannot absorb).
+        """
+        if n_rounds < 0:
+            raise ValueError("n_rounds must be non-negative")
+        os.makedirs(self.directory, exist_ok=True)
+        injection = FaultInjection(
+            schedule, self.policy, recovery_directory=self.directory
+        )
+        injection.attach(cluster)
+        out = SupervisedRun(cluster=cluster, reports=())
+        reports: list[FaultReport] = []
+        checkpoints: dict[int, str] = {}
+        base = cluster.rounds_completed
+        target = base + n_rounds
+        #: rounds below this mark were already trained once — re-running
+        #: them after a full restore is replay (downtime), not progress.
+        replaying_until = base
+        round_retries = 0
+        try:
+            out.checkpoint_seconds += self._checkpoint(cluster, checkpoints)
+            while cluster.rounds_completed < target:
+                rc = cluster.rounds_completed
+                crashed = [
+                    node.node_id
+                    for node in cluster.nodes
+                    if schedule.draw("node_crash", node.node_id) > 0
+                ]
+                if crashed:
+                    cluster, replaying_until = self._recover_crash(
+                        cluster,
+                        injection,
+                        checkpoints,
+                        crashed,
+                        out,
+                        reports,
+                        replaying_until,
+                    )
+                    continue
+                try:
+                    if pipelined:
+                        chunk = min(self.checkpoint_every, target - rc)
+                        run = cluster.train_pipelined(
+                            chunk, queue_capacity=self.queue_capacity
+                        )
+                        out.stats.extend(run.stats)
+                        n_replayed = max(0, min(replaying_until, rc + chunk) - rc)
+                        frac = n_replayed / chunk
+                        out.replay_seconds += run.makespan * frac
+                        out.training_seconds += run.makespan * (1.0 - frac)
+                    else:
+                        stats = cluster.train_round()
+                        out.stats.append(stats)
+                        seconds = sum(stats.pipeline_stage_seconds)
+                        if rc < replaying_until:
+                            out.replay_seconds += seconds
+                        else:
+                            out.training_seconds += seconds
+                    round_retries = 0
+                except FaultError as err:
+                    reports.extend(self._stamp(injection.drain_incidents(), rc))
+                    cluster, replaying_until, round_retries = self._recover(
+                        cluster,
+                        injection,
+                        checkpoints,
+                        err,
+                        pipelined,
+                        out,
+                        reports,
+                        replaying_until,
+                        round_retries,
+                    )
+                    continue
+                reports.extend(
+                    self._stamp(
+                        injection.drain_incidents(), cluster.rounds_completed
+                    )
+                )
+                if (cluster.rounds_completed - base) % self.checkpoint_every == 0:
+                    out.checkpoint_seconds += self._checkpoint(
+                        cluster, checkpoints
+                    )
+        finally:
+            injection.detach()
+            out.cluster = cluster
+            out.reports = tuple(reports)
+            out.rounds = cluster.rounds_completed - base
+            out.totals = injection.totals()
+        return out
+
+    # ------------------------------------------------------------------
+    def _spend_recovery(self, out: SupervisedRun, err: Exception | None) -> None:
+        out.recoveries += 1
+        if out.recoveries > self.max_recoveries:
+            raise UnrecoverableFaultError(
+                f"recovery budget exhausted after {self.max_recoveries} "
+                "escalations — the schedule's fault storm is not "
+                "survivable at this cadence",
+                surface="supervisor",
+            ) from err
+
+    def _newest(self, checkpoints: dict[int, str]) -> tuple[int, str]:
+        rc = max(checkpoints)
+        return rc, checkpoints[rc]
+
+    def _full_restore(
+        self,
+        cluster,
+        injection: FaultInjection,
+        checkpoints: dict[int, str],
+    ) -> tuple[object, float, int]:
+        """Rebuild from the newest checkpoint; returns
+        ``(new_cluster, restore_seconds, replay_rounds)``."""
+        detect = cluster.rounds_completed
+        ck_round, ck_dir = self._newest(checkpoints)
+        injection.detach()
+        restored = type(cluster).restore(ck_dir, **self.restore_kwargs)
+        injection.attach(restored)
+        # Restore cost: the checkpoint read-back is already charged to
+        # the new cluster's ledgers under ckpt_read; mirror the critical
+        # path into the run's downtime accounting.
+        seconds = max(
+            (node.ledger.total("ckpt_read") for node in restored.nodes),
+            default=0.0,
+        )
+        return restored, seconds, max(0, detect - ck_round)
+
+    def _recover_crash(
+        self,
+        cluster,
+        injection: FaultInjection,
+        checkpoints: dict[int, str],
+        crashed: list[int],
+        out: SupervisedRun,
+        reports: list[FaultReport],
+        replaying_until: int,
+    ):
+        """Boundary node-crash probe fired: heal before training resumes."""
+        self._spend_recovery(out, None)
+        rc = cluster.rounds_completed
+        ck_round, ck_dir = self._newest(checkpoints)
+        if len(crashed) == 1 and ck_round == rc:
+            stats = cluster.restore_node(ck_dir, crashed[0])
+            out.restore_seconds += stats.seconds
+            reports.append(
+                FaultReport(
+                    round=rc,
+                    surface="node",
+                    kind="node_crash",
+                    node=crashed[0],
+                    action="partial_restore",
+                    downtime_seconds=stats.seconds,
+                )
+            )
+            return cluster, replaying_until
+        cluster, seconds, replay = self._full_restore(
+            cluster, injection, checkpoints
+        )
+        out.restore_seconds += seconds
+        replaying_until = max(replaying_until, rc)
+        reports.append(
+            FaultReport(
+                round=rc,
+                surface="node",
+                kind="node_crash",
+                node=crashed[0] if len(crashed) == 1 else None,
+                action="full_restore",
+                downtime_seconds=seconds,
+                replay_rounds=replay,
+            )
+        )
+        return cluster, replaying_until
+
+    def _recover(
+        self,
+        cluster,
+        injection: FaultInjection,
+        checkpoints: dict[int, str],
+        err: FaultError,
+        pipelined: bool,
+        out: SupervisedRun,
+        reports: list[FaultReport],
+        replaying_until: int,
+        round_retries: int,
+    ):
+        """Classify an escaped fault and apply the cheapest safe action."""
+        self._spend_recovery(out, err)
+        detect = cluster.rounds_completed
+        ck_round, _ = self._newest(checkpoints)
+        retries = getattr(err, "retries", 0)
+
+        if (
+            err.scope == "round"
+            and not pipelined
+            and cluster._staged_rounds == 0
+            and round_retries < self.policy.max_round_retries
+        ):
+            # Round inputs are suspect but nothing durable moved: the
+            # round's residency is discarded and the identical round
+            # re-runs (batches are pure functions of the global index).
+            cluster.abort_round()
+            reports.append(
+                FaultReport(
+                    round=detect,
+                    surface=err.surface or "unknown",
+                    kind=err.kind or "unknown",
+                    node=err.node,
+                    action="retry_round",
+                    stage=err.stage,
+                    retries=retries,
+                )
+            )
+            return cluster, replaying_until, round_retries + 1
+
+        if (
+            err.scope == "node"
+            and err.node is not None
+            and not pipelined
+            and cluster._staged_rounds == 0
+            and err.stage in ("read", "prefetch", "prepare")
+            and ck_round == detect
+        ):
+            # One node's durable state is suspect, the survivors sit
+            # exactly at the newest snapshot's round boundary, and no
+            # values were staged: heal just that node, zero replay.
+            ck_dir = checkpoints[ck_round]
+            cluster.abort_round()
+            stats = cluster.restore_node(ck_dir, err.node)
+            out.restore_seconds += stats.seconds
+            reports.append(
+                FaultReport(
+                    round=detect,
+                    surface=err.surface or "unknown",
+                    kind=err.kind or "unknown",
+                    node=err.node,
+                    action="partial_restore",
+                    stage=err.stage,
+                    retries=retries,
+                    downtime_seconds=stats.seconds,
+                )
+            )
+            return cluster, replaying_until, 0
+
+        cluster, seconds, replay = self._full_restore(
+            cluster, injection, checkpoints
+        )
+        out.restore_seconds += seconds
+        replaying_until = max(replaying_until, detect)
+        reports.append(
+            FaultReport(
+                round=detect,
+                surface=err.surface or "unknown",
+                kind=err.kind or "unknown",
+                node=err.node,
+                action="full_restore",
+                stage=err.stage,
+                retries=retries,
+                downtime_seconds=seconds,
+                replay_rounds=replay,
+            )
+        )
+        return cluster, replaying_until, 0

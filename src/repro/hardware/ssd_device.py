@@ -27,6 +27,9 @@ class SSDDevice:
         self.bytes_written = 0
         self.read_ops = 0
         self.write_ops = 0
+        #: fault-injection guard for write stalls
+        #: (:class:`repro.faults.policy.FaultArm`; None = fault-free)
+        self.faults = None
 
     # ------------------------------------------------------------------
     def _blocks(self, n_bytes: int) -> int:
@@ -82,9 +85,17 @@ class SSDDevice:
         return t
 
     def write(self, n_bytes: int, *, sequential: bool = True) -> float:
-        """Account a write on the ledger; returns simulated seconds."""
+        """Account a write on the ledger; returns simulated seconds.
+
+        An armed device may additionally stall the write (garbage
+        collection pauses, write-cliff behaviour): the stall never fails
+        the operation, it just costs extra simulated seconds, charged to
+        the ledger's ``fault_retry`` line by the arm.
+        """
         t = self.write_time(n_bytes, sequential=sequential)
         self.bytes_written += n_bytes
         self.write_ops += 1
         self.ledger.add("ssd_write", t)
+        if self.faults is not None:
+            t += self.faults.stall("ssd_write_stall", t)
         return t

@@ -90,6 +90,11 @@ class HBMPS:
             ledger=self.ledger,
         )
         self._planned: _PlannedRound | None = None
+        #: fault-injection guard for cross-GPU pull/push dispatch, armed
+        #: here (not on the hash tables) so the planned fast path and the
+        #: unplanned table path draw the identical fault sequence
+        #: (:class:`repro.faults.policy.FaultArm`; None = fault-free)
+        self.faults = None
 
     # ------------------------------------------------------------------
     @property
@@ -186,15 +191,22 @@ class HBMPS:
         mb: MinibatchPlan | None = None,
     ) -> tuple[np.ndarray, float]:
         """Embedding rows for a worker's mini-batch keys (line 12)."""
+        extra = 0.0
+        if self.faults is not None:
+            # Transient dispatch fault: a retried fetch costs only
+            # backoff (it restarts before any table was touched);
+            # exhaustion escapes with global scope — mid-train HBM state
+            # is only recoverable by a full restore.
+            extra = self.faults.guard({"hbm_dispatch": 0.0}, scope="global")
         if self._planned is None or mb is None:
             values, t = self.params.get(keys, source_gpu=gpu)
-            return self.optimizer.embedding(values), t
+            return self.optimizer.embedding(values), t + extra
         st = self._planned
         values = st.values[mb.work_idx]
         t = self._charge_table_ops(
             self.params, mb.gpu_counts, "hbm_pull", source_gpu=gpu
         )
-        return self.optimizer.embedding(values), t
+        return self.optimizer.embedding(values), t + extra
 
     def push_gradients(
         self,
@@ -205,8 +217,16 @@ class HBMPS:
         mb: MinibatchPlan | None = None,
     ) -> float:
         """Worker pushes its sparse gradient (line 14, Algorithm 2)."""
+        extra = 0.0
+        if self.faults is not None:
+            # Guard before any gradient is applied, so a retried push
+            # never double-applies a delta and an exhausted one escapes
+            # with the tables/buffers still consistent.
+            extra = self.faults.guard({"hbm_dispatch": 0.0}, scope="global")
         if self._planned is None or mb is None:
-            return self.grads.accumulate(keys, grads, source_gpu=gpu, upsert=True)
+            return extra + self.grads.accumulate(
+                keys, grads, source_gpu=gpu, upsert=True
+            )
         st = self._planned
         if st.grad_buf is None:
             st.grad_buf = np.zeros(
@@ -216,7 +236,7 @@ class HBMPS:
         # table's insert-then-accumulate bit for bit (0 + d == d, and
         # float32 -> float64 -> float32 round-trips exactly).
         st.grad_buf[mb.sync_idx] += np.asarray(grads, dtype=np.float32)
-        return self._charge_table_ops(
+        return extra + self._charge_table_ops(
             self.grads, mb.gpu_counts, "hbm_push", source_gpu=gpu
         )
 

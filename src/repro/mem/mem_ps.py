@@ -540,6 +540,22 @@ class MemPS:
             seconds += self.ssd_ps.dump(fk, fv).total_seconds
         return seconds
 
+    def abort_round(self) -> float:
+        """Roll in-flight round state back to a clean boundary.
+
+        Fault-recovery counterpart of :meth:`end_batch`: releases the
+        prefetch pins and remote-serve pins of a round that will never
+        reach write-back, settles any overflow the partial round queued,
+        and — unlike ``end_batch`` — forgets the cross-round prefetch
+        union, because the aborted round's resolved rows must not seed
+        the retry's ``prefetch_resolve`` carry-over (the retry re-derives
+        residency from scratch; values were never mutated, so this is
+        purely a bookkeeping reset).
+        """
+        seconds = self.end_batch()
+        self._prev_union = (None, None)
+        return seconds
+
     def flush_to_ssd(self) -> float:
         """Drain the entire cache to the SSD-PS (checkpoint/shutdown)."""
         fk, fv = self.cache.flush_all()

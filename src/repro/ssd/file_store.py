@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.errors import PayloadLostError
 from repro.hardware.ledger import CostLedger
 from repro.hardware.specs import SSDSpec
 from repro.hardware.ssd_device import SSDDevice
@@ -100,6 +101,9 @@ class FileStore:
         #: cross-round payload cache; disabled (0 capacity) by default so
         #: charged seconds stay identical to the pre-cache behaviour.
         self.extent_cache = FileHandleCache(extent_cache_files)
+        #: fault-injection guard for cold file reads
+        #: (:class:`repro.faults.policy.FaultArm`; None = fault-free)
+        self.faults = None
         self.directory = directory
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
@@ -244,6 +248,15 @@ class FileStore:
             rows = np.searchsorted(f.keys, keys[sel])
             payload = self.extent_cache.get(fid)
             if payload is None:
+                if self.faults is not None:
+                    # Armed cold read: transient read errors / torn
+                    # payloads (caught by the existing digests) retry
+                    # with backoff; exhaustion quarantines the file and
+                    # re-materializes it from the newest checkpoint
+                    # chain, or raises PayloadLostError if no durable
+                    # copy exists.  All extra seconds land in the
+                    # ledger's fault_retry line inside the arm.
+                    total_t += self.faults.ssd_read(self, f)
                 # Full payload read, charged to the device; admit it so
                 # the next round's misses to this file go at warm rate.
                 payload = self._payload(f)
@@ -279,9 +292,12 @@ class FileStore:
         """
         f = self._files[file_id]
         if f.values is None and (f.path is None or not os.path.exists(f.path)):
-            raise FileNotFoundError(
+            live = f.keys[self.mapping_of(f.keys) == file_id]
+            raise PayloadLostError(
                 f"parameter file {file_id} payload missing "
-                f"({f.path!r}) — refusing to erase lost data"
+                f"({f.path!r}) — refusing to erase lost data",
+                file_id=file_id,
+                keys=live,
             )
         del self._files[file_id]
         self._total_bytes -= self.file_bytes(f)

@@ -16,11 +16,13 @@ from repro.analysis.rules import (
     HotLoopRule,
     SeededRngRule,
     SimTimeRule,
+    TypedFaultsRule,
 )
 
 HOT = "src/repro/mem/example.py"
 DURABLE = "src/repro/ckpt/example.py"
 PLAIN = "src/repro/core/example.py"
+FAULTS = "src/repro/faults/example.py"
 
 
 def _lint(relpath, snippet, rules=DEFAULT_RULES):
@@ -457,3 +459,99 @@ class TestSuppressionMechanics:
         assert len(findings) == 1
         assert findings[0].suppressed
         assert "(suppressed)" in findings[0].format()
+
+
+class TestTypedFaultsRule:
+    def test_bare_raise_is_flagged(self):
+        findings = _lint(
+            FAULTS,
+            """
+            def fail():
+                raise RuntimeError("boom")
+            """,
+        )
+        (f,) = _active(findings, "typed-faults")
+        assert f.line == 3
+        assert "RuntimeError" in f.message
+
+    def test_raise_exception_call_and_name_are_flagged(self):
+        findings = _lint(
+            FAULTS,
+            """
+            def a():
+                raise Exception("boom")
+
+            def b():
+                raise Exception
+            """,
+        )
+        assert len(_active(findings, "typed-faults")) == 2
+
+    def test_bare_except_and_tuple_catch_are_flagged(self):
+        findings = _lint(
+            FAULTS,
+            """
+            def a(op):
+                try:
+                    op()
+                except Exception:
+                    pass
+
+            def b(op):
+                try:
+                    op()
+                except (ValueError, RuntimeError):
+                    pass
+
+            def c(op):
+                try:
+                    op()
+                except:
+                    pass
+            """,
+        )
+        assert len(_active(findings, "typed-faults")) == 3
+
+    def test_typed_raise_and_catch_are_clean(self):
+        findings = _lint(
+            FAULTS,
+            """
+            from repro.faults.errors import FaultError, FaultExhaustedError
+
+            def a(op):
+                try:
+                    op()
+                except FaultExhaustedError as exc:
+                    raise FaultError("escalated", surface="x") from exc
+                except ValueError:
+                    pass
+            """,
+        )
+        assert not _active(findings, "typed-faults")
+
+    def test_out_of_scope_module_is_clean(self):
+        findings = _lint(
+            PLAIN,
+            """
+            def fail():
+                raise RuntimeError("boom")
+            """,
+        )
+        assert not _active(findings, "typed-faults")
+
+    def test_allow_comment_suppresses(self):
+        findings = _lint(
+            FAULTS,
+            """
+            def fail():
+                raise RuntimeError("boom")  # repro: allow(typed-faults)
+            """,
+        )
+        assert not _active(findings, "typed-faults")
+        assert _suppressed(findings, "typed-faults")
+
+    def test_scope(self):
+        rule = TypedFaultsRule()
+        assert rule.applies_to("src/repro/faults/inject.py")
+        assert not rule.applies_to("src/repro/core/cluster.py")
+        assert not rule.applies_to("tests/faults/test_soak.py")

@@ -1,0 +1,39 @@
+"""Shared builders for the fault-injection suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.cluster import HPSCluster
+
+
+@pytest.fixture
+def mk_cluster(tiny_spec, small_config):
+    """Factory for small clusters; keyword overrides patch the config.
+
+    ``batch`` sets the functional batch size — the pressure builders use
+    a larger batch plus a smaller MEM tier so training spills real state
+    to the SSD store (the precondition for the SSD fault surfaces).
+    """
+
+    def mk(batch: int = 256, **overrides) -> HPSCluster:
+        config = (
+            dataclasses.replace(small_config, **overrides)
+            if overrides
+            else small_config
+        )
+        return HPSCluster(tiny_spec, config, functional_batch_size=batch)
+
+    return mk
+
+
+@pytest.fixture
+def mk_pressured(mk_cluster):
+    """Clusters whose MEM tier overflows to SSD within a few rounds."""
+
+    def mk() -> HPSCluster:
+        return mk_cluster(batch=512, mem_capacity_params=1_400)
+
+    return mk

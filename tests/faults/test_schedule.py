@@ -1,0 +1,118 @@
+"""FaultSchedule determinism, budget, scripting, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultSchedule
+
+
+def drain(schedule: FaultSchedule, kind: str, node, n: int) -> list[int]:
+    return [schedule.draw(kind, node) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        kwargs = dict(rates={"hdfs_timeout": 0.5, "straggler": 0.5})
+        a = FaultSchedule(11, **kwargs)
+        b = FaultSchedule(11, **kwargs)
+        for kind in ("hdfs_timeout", "straggler"):
+            for node in (0, 1, None):
+                assert drain(a, kind, node, 40) == drain(b, kind, node, 40)
+
+    def test_streams_are_independent_per_kind_and_node(self):
+        # Arming an extra kind must not perturb another kind's stream,
+        # and node 0's stream must not depend on node 1's draw order.
+        # (Budget big enough that the foreign kind's firings can't drain
+        # it — the global budget is deliberately shared.)
+        a = FaultSchedule(5, rates={"hdfs_timeout": 0.5}, max_faults=10_000)
+        b = FaultSchedule(
+            5,
+            rates={"hdfs_timeout": 0.5, "ssd_read_error": 0.9},
+            max_faults=10_000,
+        )
+        seq_a = []
+        seq_b = []
+        for _ in range(30):
+            seq_a.append(a.draw("hdfs_timeout", 0))
+            seq_b.append(b.draw("hdfs_timeout", 0))
+            b.draw("ssd_read_error", 1)  # interleaved foreign draws
+        assert seq_a == seq_b
+
+    def test_unarmed_kind_consumes_no_randomness(self):
+        a = FaultSchedule(5, rates={"hdfs_timeout": 0.5})
+        b = FaultSchedule(5, rates={"hdfs_timeout": 0.5})
+        for _ in range(20):
+            assert b.draw("comm_allreduce", 0) == 0  # rate 0: clean, free
+        assert drain(a, "hdfs_timeout", 0, 30) == drain(b, "hdfs_timeout", 0, 30)
+
+
+class TestBudgetAndDepth:
+    def test_budget_caps_total_faults(self):
+        s = FaultSchedule(3, rates={"hdfs_timeout": 1.0}, max_faults=2)
+        depths = drain(s, "hdfs_timeout", 0, 50)
+        assert sum(1 for d in depths if d > 0) == 2
+        assert all(d == 0 for d in depths[2:])
+        assert s.faults_fired == 2
+
+    def test_depth_bounds(self):
+        s = FaultSchedule(3, rates={"hdfs_timeout": 1.0}, max_faults=10_000,
+                          max_depth=4)
+        depths = [d for d in drain(s, "hdfs_timeout", 0, 200) if d > 0]
+        assert depths
+        assert all(1 <= d <= 4 for d in depths)
+
+    def test_straggler_multiplier_bounds(self):
+        s = FaultSchedule(
+            9,
+            rates={"straggler": 1.0},
+            max_faults=10_000,
+            straggler_min=1.5,
+            straggler_max=2.0,
+        )
+        mults = [s.straggler(0) for _ in range(50)]
+        assert all(1.5 <= m <= 2.0 for m in mults)
+        clean = FaultSchedule(9, rates={})
+        assert clean.straggler(0) == 1.0
+
+
+class TestScript:
+    def test_scripted_depth_overrides_and_spends_budget(self):
+        s = FaultSchedule(0, script={("hdfs_timeout", 0, 2): 5})
+        assert drain(s, "hdfs_timeout", 0, 2) == [0, 0]
+        assert s.draw("hdfs_timeout", 0) == 5
+        assert s.faults_fired == 1
+        assert s.draw("hdfs_timeout", 0) == 0  # op 3: back to clean
+
+    def test_scripted_zero_forces_clean(self):
+        s = FaultSchedule(
+            0, rates={"hdfs_timeout": 1.0}, script={("hdfs_timeout", 0, 0): 0}
+        )
+        assert s.draw("hdfs_timeout", 0) == 0
+        assert s.faults_fired == 0
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultSchedule(0, rates={"nope": 0.5})
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="must be in"):
+            FaultSchedule(0, rates={"hdfs_timeout": 1.5})
+
+    def test_straggler_bounds_rejected(self):
+        with pytest.raises(ValueError, match="straggler"):
+            FaultSchedule(0, straggler_min=0.5)
+
+    def test_mixed_arms_every_kind(self):
+        s = FaultSchedule.mixed(1, rate=0.04)
+        assert set(s.rates) == set(FAULT_KINDS)
+        assert s.rates["node_crash"] == pytest.approx(0.01)
+        assert s.rates["straggler"] == pytest.approx(0.02)
+
+    def test_describe_fingerprints_config(self):
+        a = FaultSchedule.mixed(7, rate=0.1, max_faults=5)
+        b = FaultSchedule.mixed(7, rate=0.1, max_faults=5)
+        assert a.describe() == b.describe()
+        assert a.describe() != FaultSchedule.mixed(8, rate=0.1).describe()

@@ -1,4 +1,4 @@
-"""Schema validation of the ``BENCH_e2e.json`` perf ledger (v4)."""
+"""Schema validation of the ``BENCH_e2e.json`` perf ledger (v5)."""
 
 import json
 import pathlib
@@ -59,6 +59,26 @@ RECOVERY_ROW_FIELDS = {
     },
 }
 
+#: The faults scenario's rows are simulated-seconds based (like the
+#: recovery rows) and deliberately wall-clock free; both modes carry the
+#: same field set.
+FAULTS_ROW_FIELDS = {
+    "faults_fired": int,
+    "retries": int,
+    "recoveries": int,
+    "reports": int,
+    "training_sim_seconds": float,
+    "restore_sim_seconds": float,
+    "replay_sim_seconds": float,
+    "downtime_sim_seconds": float,
+    "mttr_seconds": float,
+    "downtime_fraction": float,
+    "retry_overhead_seconds": float,
+    "straggler_seconds": float,
+    "bytes_reread": int,
+}
+FAULTS_MODES = {"faults-lockstep", "faults-pipelined"}
+
 #: The committed lockstep-planned pressure rounds/s as of PR 5 — the
 #: frozen baseline the prefetch acceptance claim is measured against.
 PR5_PRESSURE_PLANNED_BASELINE = 30.36
@@ -81,7 +101,7 @@ def _validate_rows(scenario: dict, modes: set[str]) -> None:
 def validate_bench_e2e(doc: dict) -> None:
     assert doc["schema"] == BENCH_E2E_SCHEMA
     scenarios = {s["name"]: s for s in doc["scenarios"]}
-    assert set(scenarios) == {"default", "pressure", "recovery"}
+    assert set(scenarios) == {"default", "pressure", "recovery", "faults"}
 
     default = scenarios["default"]
     for key in (
@@ -159,6 +179,39 @@ def validate_bench_e2e(doc: dict) -> None:
     assert by_mode["snapshot-overhead"]["bytes_ratio_full_over_delta"] > 1.0
     assert by_mode["recovery-downtime"]["partial_rounds_replayed"] == 0
     assert by_mode["recovery-downtime"]["full_rounds_replayed"] > 0
+
+    faults = scenarios["faults"]
+    for key in (
+        "model",
+        "n_rounds",
+        "n_sparse",
+        "mem_capacity_params",
+        "batch_size",
+        "checkpoint_every",
+        "schedule_seed",
+        "max_faults",
+        "rates",
+        "seed",
+    ):
+        assert key in faults["workload"], f"faults workload missing {key}"
+    assert isinstance(faults["parameter_parity"], bool)
+    assert isinstance(faults["fault_kinds_fired"], list)
+    by_mode = {r["mode"]: r for r in faults["rows"]}
+    assert set(by_mode) == FAULTS_MODES
+    for mode, row in by_mode.items():
+        for field, typ in FAULTS_ROW_FIELDS.items():
+            assert isinstance(row[field], typ), f"{mode}.{field}"
+        # Wall-clock free: perf-smoke must skip these rows.
+        assert "rounds_per_s" not in row
+        # The schedule must have actually fired and been absorbed: a
+        # fault-free 'faults' scenario would gate nothing.
+        assert row["faults_fired"] > 0, mode
+        assert row["retry_overhead_seconds"] > 0.0, mode
+        assert 0.0 <= row["downtime_fraction"] < 1.0, mode
+    # The healed runs must be bit-identical to their fault-free twins —
+    # the tentpole invariant, recorded in the committed artifact.
+    assert faults["parameter_parity"] is True
+    assert faults["fault_kinds_fired"]
 
 
 class TestBenchSchema:
