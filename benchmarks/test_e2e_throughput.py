@@ -106,6 +106,8 @@ def test_e2e_throughput(benchmark):
         f"{pressure['speedup_bulk_over_legacy']:.2f}x, "
         f"bulk-over-scalar: {pressure['speedup_bulk_over_scalar']:.2f}x, "
         f"prefetch-over-bulk: {pressure['speedup_prefetch_over_bulk']:.2f}x, "
+        f"depth2-over-depth1: "
+        f"{pressure['speedup_prefetch_k2_over_k1']:.2f}x, "
         f"full-over-delta bytes: "
         f"{recovery['bytes_ratio_full_over_delta']:.2f}x"
     )

@@ -69,7 +69,14 @@ __all__ = [
 #: fault schedule per execution mode, reporting MTTR, downtime fraction,
 #: retry overhead, and bytes re-read.  Like the recovery rows these are
 #: simulated-seconds based (deterministic, no wall-clock fields).
-BENCH_E2E_SCHEMA = "bench-e2e/v5"
+#: v6: throughput rows gain the depth-k observability counters
+#: (``prefetch_depth_backoffs`` / ``extent_cache_resizes``); the
+#: pressure scenario adds the ``pipelined-prefetch-k2`` depth-2
+#: lookahead row (its own sim-clock group, excluded from the depth-1
+#: prefetch parity flag) plus ``speedup_prefetch_k2_over_k1``; the
+#: ``snapshot-overhead`` row splits snapshot cost into serialize vs
+#: HDFS-transfer components with the flow-shop overlap saving.
+BENCH_E2E_SCHEMA = "bench-e2e/v6"
 
 #: The memory-pressure e2e workload: cache capacity far below the hot key
 #: set, an LFU-heavy split so LFU→LRU promotion storms form an eviction
@@ -525,6 +532,12 @@ def run_checkpoint_overhead(
         "train_seconds": train_seconds,
         "n_checkpoints": len(report.checkpoints),
         "checkpoint_seconds": report.checkpoint_seconds,
+        "checkpoint_serialize_seconds": float(
+            sum(c.serialize_seconds for c in report.checkpoints)
+        ),
+        "checkpoint_transfer_seconds": float(
+            sum(c.transfer_seconds for c in report.checkpoints)
+        ),
         "checkpoint_bytes": report.checkpoint_nbytes,
         "checkpoint_overhead": (
             report.checkpoint_seconds / train_seconds if train_seconds else 0.0
@@ -580,6 +593,12 @@ def _throughput_row(
             sum(s.cache_collision_splits for s in stats)
         ),
         "admission_runs": int(sum(s.cache_admission_runs for s in stats)),
+        "prefetch_depth_backoffs": int(
+            sum(s.prefetch_depth_backoffs for s in stats)
+        ),
+        "extent_cache_resizes": int(
+            sum(s.extent_cache_resizes for s in stats)
+        ),
     }
 
 
@@ -685,18 +704,21 @@ def _pressure_scenario(
 
     Cache capacity sits far below the working set (``PRESSURE_WORKLOAD``)
     so every steady-state round drives promotion/eviction collisions.
-    Seven modes train on identical data from an identically warmed cache:
+    Eight modes train on identical data from an identically warmed cache:
     the full per-key replay (``force_scalar=True``, the seed parity
     oracle), the pre-refactor plan-or-replay policy (``"legacy"``, the
     pressure baseline the admission refactor is measured against), the
-    bulk admission engine in lockstep and pipelined execution, and the
+    bulk admission engine in lockstep and pipelined execution, the
     plan-driven prefetch pipeline (its own scalar-cache oracle plus
-    lockstep and pipelined bulk runs).  Parameters must be bit-identical
-    across all seven; simulated seconds form two parity groups — the
-    non-prefetch four, and the prefetch three (prefetch resolves the
-    round's MEM working set in one pass, so its simulated clock is a
-    distinct but internally lockstep-exact mode).  Every bulk mode must
-    report zero scalar fallbacks.
+    lockstep and pipelined bulk runs), and the depth-2 lookahead
+    pipeline (``prefetch_depth=2``, pipelined).  Parameters must be
+    bit-identical across all eight; simulated seconds form parity groups
+    — the non-prefetch four, the depth-1 prefetch three (prefetch
+    resolves the round's MEM working set in one pass, so its simulated
+    clock is a distinct but internally lockstep-exact mode), and the
+    depth-2 row as its own group (the window-delta resolve re-times the
+    prepare stage; the depth-sweep tests pin its lockstep/pipelined
+    agreement).  Every bulk mode must report zero scalar fallbacks.
     """
     wl = PRESSURE_WORKLOAD
     spec = functional_model(n_sparse=wl["n_sparse"])
@@ -739,6 +761,9 @@ def _pressure_scenario(
     pf_lock, pf_lock_stats, row_pf_lock = measure(cfg_pf, False, False)
     pf_piped, pf_piped_stats, row_pf_piped = measure(cfg_pf, False, True)
 
+    cfg_k2 = dataclasses.replace(cfg_pf, prefetch_depth=2)
+    k2, k2_stats, row_k2 = measure(cfg_k2, False, True)
+
     oracle_trace = _sim_seconds_trace(oracle_stats)
     seconds_parity = all(
         _sim_seconds_trace(s) == oracle_trace
@@ -767,6 +792,7 @@ def _pressure_scenario(
             {"mode": "lockstep-prefetch-oracle", **row_pf_oracle},
             {"mode": "lockstep-prefetch", **row_pf_lock},
             {"mode": "pipelined-prefetch", **row_pf_piped},
+            {"mode": "pipelined-prefetch-k2", **row_k2},
         ],
         "speedup_bulk_over_legacy": (
             row_planned["rounds_per_s"] / row_legacy["rounds_per_s"]
@@ -783,14 +809,21 @@ def _pressure_scenario(
             if row_planned["rounds_per_s"]
             else 0.0
         ),
+        "speedup_prefetch_k2_over_k1": (
+            row_k2["rounds_per_s"] / row_pf_piped["rounds_per_s"]
+            if row_pf_piped["rounds_per_s"]
+            else 0.0
+        ),
         "bulk_scalar_fallbacks": (
             row_planned["scalar_fallbacks"]
             + row_pipelined["scalar_fallbacks"]
             + row_pf_lock["scalar_fallbacks"]
             + row_pf_piped["scalar_fallbacks"]
+            + row_k2["scalar_fallbacks"]
         ),
         "parameter_parity": _parameter_parity(
-            oracle, (legacy, planned, pipelined, pf_oracle, pf_lock, pf_piped)
+            oracle,
+            (legacy, planned, pipelined, pf_oracle, pf_lock, pf_piped, k2),
         ),
         "seconds_parity": bool(seconds_parity),
         "prefetch_seconds_parity": bool(prefetch_seconds_parity),
@@ -866,6 +899,21 @@ def _recovery_scenario(*, n_rounds: int, queue_capacity, seed: int) -> dict:
         ),
         "snapshot_sim_seconds": float(
             sum(s.seconds for s in stage.history)
+        ),
+        # Serialize/transfer split: the flow-shop overlap (serialize
+        # shard n+1 while shipping shard n) is what keeps continuous
+        # delta snapshots off the serial cost chain.
+        "snapshot_serialize_seconds": float(
+            sum(s.serialize_seconds for s in stage.history)
+        ),
+        "snapshot_transfer_seconds": float(
+            sum(s.transfer_seconds for s in stage.history)
+        ),
+        "snapshot_overlap_saving_seconds": float(
+            sum(
+                s.serialize_seconds + s.transfer_seconds - s.seconds
+                for s in stage.history
+            )
         ),
         "baseline_makespan": float(base_run.makespan),
         "snapshot_makespan": float(snap_run.makespan),

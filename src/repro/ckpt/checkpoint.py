@@ -5,8 +5,11 @@
 :func:`restore_cluster` rebuilds a cluster from one.  Both charge the
 simulated cost of moving the snapshot to/from the distributed FS through
 each node's :class:`~repro.hardware.ledger.CostLedger` (categories
-``ckpt_write`` / ``ckpt_read``) using the node's HDFS model — nodes
-snapshot in parallel, so the cluster-level cost is the slowest node.
+``ckpt_write`` / ``ckpt_read``) using the node's HDFS model.  Saves
+split a shard's cost into serialization vs HDFS transfer and overlap
+them (serialize shard ``n + 1`` while shipping shard ``n``), so the
+save-level cost is a flow-shop makespan; restores read shards in
+parallel, so their cost is the slowest node.
 
 Delta snapshots (:func:`save_cluster_delta`, format v3) record only the
 state that changed since the previous snapshot: new SSD parameter files
@@ -67,13 +70,22 @@ class CheckpointStats:
     op: str  # "save" | "restore"
     directory: str
     rounds_completed: int
-    #: Cluster critical path — nodes move their shards in parallel.
+    #: Critical path.  Saves price as a serialize/transfer flow shop
+    #: (shard ``n + 1`` serializes while shard ``n`` ships), so this is
+    #: the pipeline makespan; restores keep the parallel-shard model
+    #: (slowest node).
     seconds: float
     nbytes: int
     per_node_seconds: tuple[float, ...]
     #: "full" | "delta" for saves; "full" | "delta" | "partial" for
     #: restores (what the newest chain member / restore mode was).
     kind: str = "full"
+    #: Total CPU-side shard serialization time across nodes (saves only;
+    #: zero for restores).
+    serialize_seconds: float = 0.0
+    #: Total HDFS transfer time across nodes (saves only; zero for
+    #: restores).
+    transfer_seconds: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -114,6 +126,42 @@ def _write_shard(directory: str, name: str, arrays: dict) -> tuple[int, str]:
 def _hdfs_transfer_seconds(node, nbytes: int) -> float:
     """Checkpoint traffic prices through the node's HDFS stream model."""
     return node.hdfs.transfer_seconds(nbytes)
+
+
+def _overlap_snapshot_cost(
+    cluster, node_bytes: list[int], dense_bytes: int, manifest_bytes: int
+) -> tuple[tuple[float, ...], float, float, float]:
+    """Flow-shop cost of materializing a snapshot's shards.
+
+    A shard costs two distinct things: CPU-side serialization (priced by
+    the HDFS spec's ``serialize_bandwidth``) and the HDFS transfer
+    itself.  The snapshot stage overlaps them — shard ``n + 1``
+    serializes while shard ``n`` is in flight — so the snapshot-level
+    cost is the two-machine flow-shop makespan over shards in node
+    order, not the serial sum of both components.  Node 0's shard also
+    carries the dense replica and the manifest.
+
+    Charges each node's ledger its own ``serialize + transfer`` share
+    and returns ``(per_node_seconds, serialize_total, transfer_total,
+    makespan)``.
+    """
+    serialize: list[float] = []
+    transfer: list[float] = []
+    for node, nbytes in zip(cluster.nodes, node_bytes):
+        total = nbytes + (
+            dense_bytes + manifest_bytes if node.node_id == 0 else 0
+        )
+        serialize.append(total / node.hdfs.spec.serialize_bandwidth)
+        transfer.append(_hdfs_transfer_seconds(node, total))
+    per_node: list[float] = []
+    s_done = 0.0
+    t_done = 0.0
+    for node, s, t in zip(cluster.nodes, serialize, transfer):
+        s_done += s
+        t_done = max(t_done, s_done) + t
+        node.ledger.add("ckpt_write", s + t)
+        per_node.append(s + t)
+    return tuple(per_node), sum(serialize), sum(transfer), t_done
 
 
 def _dense_arrays(cluster) -> dict[str, np.ndarray]:
@@ -245,25 +293,22 @@ def save_cluster(cluster, directory: str) -> CheckpointStats:
     manifest_bytes = fmt.write_manifest(directory, manifest)
     _record_base(cluster, directory, node_states)
 
-    # Simulated cost: every node streams its own shard to the distributed
-    # FS in parallel; node 0 additionally commits the dense replica and
-    # the manifest.
-    per_node: list[float] = []
-    for node, nbytes in zip(cluster.nodes, node_bytes):
-        total = nbytes + (
-            dense_bytes + manifest_bytes if node.node_id == 0 else 0
-        )
-        t = _hdfs_transfer_seconds(node, total)
-        node.ledger.add("ckpt_write", t)
-        per_node.append(t)
+    # Simulated cost: serialize/transfer flow shop over node shards —
+    # shard n+1 serializes while shard n ships; node 0 additionally
+    # commits the dense replica and the manifest.
+    per_node, ser_s, xfer_s, makespan = _overlap_snapshot_cost(
+        cluster, node_bytes, dense_bytes, manifest_bytes
+    )
     return CheckpointStats(
         op="save",
         directory=directory,
         rounds_completed=cluster.rounds_completed,
-        seconds=max(per_node),
+        seconds=makespan,
         nbytes=sum(node_bytes) + dense_bytes + manifest_bytes,
-        per_node_seconds=tuple(per_node),
+        per_node_seconds=per_node,
         kind="full",
+        serialize_seconds=ser_s,
+        transfer_seconds=xfer_s,
     )
 
 
@@ -374,22 +419,19 @@ def save_cluster_delta(
     manifest_bytes = fmt.write_manifest(directory, manifest)
     _record_base(cluster, directory, node_states)
 
-    per_node: list[float] = []
-    for node, nbytes in zip(cluster.nodes, node_bytes):
-        total = nbytes + (
-            dense_bytes + manifest_bytes if node.node_id == 0 else 0
-        )
-        t = _hdfs_transfer_seconds(node, total)
-        node.ledger.add("ckpt_write", t)
-        per_node.append(t)
+    per_node, ser_s, xfer_s, makespan = _overlap_snapshot_cost(
+        cluster, node_bytes, dense_bytes, manifest_bytes
+    )
     return CheckpointStats(
         op="save",
         directory=directory,
         rounds_completed=cluster.rounds_completed,
-        seconds=max(per_node),
+        seconds=makespan,
         nbytes=sum(node_bytes) + dense_bytes + manifest_bytes,
-        per_node_seconds=tuple(per_node),
+        per_node_seconds=per_node,
         kind="delta",
+        serialize_seconds=ser_s,
+        transfer_seconds=xfer_s,
     )
 
 

@@ -75,6 +75,23 @@ class Batch:
         return np.diff(self.offsets)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def _trusted(
+        cls, keys: np.ndarray, offsets: np.ndarray, labels: np.ndarray
+    ) -> "Batch":
+        """Construct from arrays that already satisfy the invariants.
+
+        For internal producers (contiguous shard slices of an
+        already-validated batch) whose CSR structure is correct by
+        construction — skips ``__post_init__`` validation scans.
+        """
+        b = cls.__new__(cls)
+        b.keys = keys
+        b.offsets = offsets
+        b.labels = labels
+        b._unique = None
+        return b
+
     def select(self, example_idx: np.ndarray) -> "Batch":
         """Sub-batch containing ``example_idx`` rows (in the given order)."""
         example_idx = np.asarray(example_idx, dtype=np.int64)
@@ -103,10 +120,22 @@ class Batch:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         bounds = np.linspace(0, self.n_examples, n_shards + 1).astype(np.int64)
-        return [
-            self.select(np.arange(bounds[i], bounds[i + 1]))
-            for i in range(n_shards)
-        ]
+        # Shards are contiguous example ranges, so each is a pure slice
+        # of the CSR arrays — identical to ``select(arange(lo, hi))``
+        # without the generic gather.
+        offsets, keys, labels = self.offsets, self.keys, self.labels
+        out = []
+        for i in range(n_shards):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            ks, ke = int(offsets[lo]), int(offsets[hi])
+            out.append(
+                Batch._trusted(
+                    keys[ks:ke],
+                    offsets[lo : hi + 1] - offsets[lo],
+                    labels[lo:hi],
+                )
+            )
+        return out
 
     # ------------------------------------------------------------------
     def nbytes_raw_log(self, *, bytes_per_key: int = 8, header: int = 16) -> int:

@@ -119,9 +119,23 @@ class CTRDataGenerator:
         if batch_keys.size == 0:
             return out
         # Pair each key with the next key of the same example.
-        row = np.repeat(np.arange(n), lengths)
-        same_row = row[:-1] == row[1:]
-        pair_idx = np.flatnonzero(same_row)
+        if n and bool(np.all(lengths == lengths[0])):
+            # Uniform rows (the generator's own layout): the pair
+            # positions are pure index arithmetic — pair ``j`` of row
+            # ``r`` sits at flat position ``r*L + j``, so with
+            # ``i = r*(L-1) + j`` that is ``i + i // (L-1)``.  Same
+            # pairs in the same order as the generic mask below.
+            L = int(lengths[0])
+            if L < 2:
+                return out
+            idx = np.arange(n * (L - 1), dtype=np.int64)
+            row_of_pair = idx // (L - 1)
+            pair_idx = idx + row_of_pair
+        else:
+            row = np.repeat(np.arange(n), lengths)
+            same_row = row[:-1] == row[1:]
+            pair_idx = np.flatnonzero(same_row)
+            row_of_pair = row[:-1][same_row]
         with np.errstate(over="ignore"):
             pair_hash = splitmix64(
                 batch_keys[pair_idx] * np.uint64(0x9E3779B97F4A7C15)
@@ -129,7 +143,6 @@ class CTRDataGenerator:
             )
         u = (pair_hash >> np.uint64(11)).astype(np.float64) / float(2**53)
         contrib = (u - 0.5) * 2.0
-        row_of_pair = row[:-1][same_row]
         # Sequential float64 accumulation, bit-identical to np.add.at.
         out += np.bincount(row_of_pair, weights=contrib, minlength=n)
         return out

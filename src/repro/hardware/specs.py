@@ -119,10 +119,17 @@ class HDFSSpec:
 
     bandwidth: float = 300e6
     latency_s: float = 1e-3
+    #: CPU-side rate at which checkpoint shards are serialized into their
+    #: on-wire form, distinct from :attr:`bandwidth` (the network pipe).
+    #: The snapshot stage overlaps the two (serialize shard ``n + 1``
+    #: while shipping shard ``n``), so they are priced separately.
+    serialize_bandwidth: float = 2e9
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
             raise ValueError("HDFS bandwidth must be positive")
+        if self.serialize_bandwidth <= 0:
+            raise ValueError("HDFS serialize bandwidth must be positive")
 
 
 @dataclass(frozen=True)

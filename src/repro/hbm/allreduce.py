@@ -79,6 +79,20 @@ class SparseUpdate:
             np.zeros((0, dim), dtype=np.float64),  # repro: allow(f64-hot-path)
         )
 
+    @staticmethod
+    def trusted(keys: np.ndarray, grads: np.ndarray) -> "SparseUpdate":
+        """Wrap arrays that already satisfy the invariants.
+
+        For producers whose keys are sorted-unique *by construction*
+        (plan-derived key sets, already-validated updates) and whose
+        grads are already float64 — skips the per-construction
+        validation scans of ``__post_init__``.
+        """
+        u = object.__new__(SparseUpdate)
+        object.__setattr__(u, "keys", keys)
+        object.__setattr__(u, "grads", grads)
+        return u
+
 
 def merge_updates(a: SparseUpdate, b: SparseUpdate) -> SparseUpdate:
     """Union of keys; gradients of shared keys sum."""
@@ -103,6 +117,7 @@ def hierarchical_allreduce(
     networks: list[Network] | None = None,
     nvlinks: list[NVLink] | None = None,
     gpus_per_node: int = 8,
+    union_plan: tuple[np.ndarray, list[np.ndarray]] | None = None,
 ) -> tuple[SparseUpdate, float]:
     """All-reduce per-node sparse updates; returns (global update, seconds).
 
@@ -110,6 +125,14 @@ def hierarchical_allreduce(
     call is purely functional (zero simulated time).  The returned time is
     the critical path: max over participating nodes per step, summed over
     steps.
+
+    ``union_plan`` is ``(union_keys, positions)`` with ``positions[i]``
+    the index of node ``i``'s keys inside ``union_keys`` — the key plan
+    already knows the round's sync union, so for the two-node topology
+    (one binary merge, where scatter order equals merge order) the
+    functional reduce is a pair of dense scatter-adds instead of a
+    sort-based key merge.  Ignored for other node counts, whose merge
+    tree fixes a different float summation order.
     """
     n = len(node_updates)
     if n == 0:
@@ -140,13 +163,44 @@ def hierarchical_allreduce(
     # --- recursive doubling among the first p nodes ---------------------
     step = 1
     while step < p:
+        last = step * 2 >= p
         merged = list(partial[:p])
         step_t = 0.0
         for i in range(p):
             j = i ^ step
             if j < p:
                 step_t = max(step_t, _xchg_time(i, partial[j].nbytes()))
-                merged[i] = merge_updates(partial[i], partial[j])
+                if last and i != 0:
+                    # Final doubling step: only node 0's merge is ever
+                    # read again (it becomes the result; surplus nodes
+                    # receive it over the wire), and by symmetry the
+                    # sibling merges carry identical values — skip the
+                    # dead functional work, the exchange time above is
+                    # already charged.
+                    continue
+                a, b = partial[i], partial[j]
+                if (
+                    union_plan is not None
+                    and n == 2
+                    and a.n_keys
+                    and b.n_keys
+                ):
+                    keys, positions = union_plan
+                    assert positions[i].size == a.n_keys
+                    assert positions[j].size == b.n_keys
+                    # repro: allow(f64-hot-path)
+                    out = np.zeros(
+                        (keys.size,) + a.grads.shape[1:],
+                        dtype=np.float64,
+                    )
+                    # Scatter in (i, j) order — for a single binary
+                    # merge this is the exact float summation order of
+                    # ``merge_updates(a, b)``.
+                    out[positions[i]] += a.grads
+                    out[positions[j]] += b.grads
+                    merged[i] = SparseUpdate.trusted(keys, out)
+                else:
+                    merged[i] = merge_updates(a, b)
         partial[:p] = merged
         total_time += step_t
         step *= 2

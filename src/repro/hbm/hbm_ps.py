@@ -254,7 +254,8 @@ class HBMPS:
         st.grad_buf = None
         if buf is None:
             buf = np.zeros((sync.keys.size, self.optimizer.dim), dtype=np.float32)
-        return SparseUpdate(
+        # Plan keys are sorted-unique by construction; skip re-validation.
+        return SparseUpdate.trusted(
             sync.keys, buf.astype(np.float64)  # repro: allow(f64-hot-path)
         )
 
@@ -295,7 +296,7 @@ class HBMPS:
         opt = self.optimizer
 
         def fn_factory(part_keys: np.ndarray):
-            idx = np.searchsorted(keys, part_keys)
+            idx = keys.searchsorted(part_keys)
 
             def fn(values: np.ndarray) -> np.ndarray:
                 return opt.apply(values, grads[idx])

@@ -58,6 +58,18 @@ _FAR = np.int64(2**62)
 ORACLE_ENV = "REPRO_CACHE_ORACLE"
 
 
+def _full_i64(n: int, value) -> np.ndarray:
+    """``np.full(n, value, dtype=int64)`` without the broadcast wrapper.
+
+    The admission hot paths allocate thousands of small sentinel-filled
+    arrays per round; ``empty`` + C-level ``fill`` skips ``np.full``'s
+    fill-value coercion and ``copyto`` broadcast machinery.
+    """
+    out = np.empty(n, dtype=np.int64)
+    out.fill(value)
+    return out
+
+
 def _prev_occurrence(keys: np.ndarray) -> np.ndarray | None:
     """``prev[i]`` = index of the previous occurrence of ``keys[i]``, or -1.
 
@@ -70,7 +82,7 @@ def _prev_occurrence(keys: np.ndarray) -> np.ndarray | None:
     """
     if keys.size <= 1 or bool(np.all(keys[1:] > keys[:-1])):
         return None
-    prev = np.full(keys.size, -1, dtype=np.int64)
+    prev = _full_i64(keys.size, -1)
     order = np.argsort(keys, kind="stable")
     sk = keys[order]
     same = np.flatnonzero(sk[1:] == sk[:-1]) + 1
@@ -958,7 +970,7 @@ class LFUCache(_SlabCache):
                     self._tick[rows] = ticks[new]
                     self._index.insert_absent(new_keys, rows)
             else:
-                freqs = np.full(run, freq, dtype=np.int64)
+                freqs = _full_i64(run, freq)
                 fk, fv = self.bulk_insert(rem[:run], vals[s:e], freqs)
                 if fk.size:
                     ek_parts.append(fk)
@@ -1066,10 +1078,10 @@ class LFUCache(_SlabCache):
         nonrun = (~in_run).astype(np.int64)
         cheaper_at = np.cumsum(nonrun) - nonrun
         by_slot = np.argsort(cand)
-        pos = np.searchsorted(cand[by_slot], res_slots)
+        pos = cand[by_slot].searchsorted(res_slots)
         # A run resident beyond the truncated pool window is costlier
         # than all of it, hence than >= n_evict non-run slots: safe.
-        cheaper = np.full(n_res, np.int64(n_evict))
+        cheaper = _full_i64(n_res, n_evict)
         idx = np.minimum(pos, cand.size - 1)
         found = cand[by_slot][idx] == res_slots
         cheaper[found] = cheaper_at[by_slot[idx[found]]]
@@ -1082,7 +1094,7 @@ class LFUCache(_SlabCache):
         # with A the inclusive arrival count, max(0, A - free0) in both
         # cases (an arrival's own insert is number A-1, a resident's
         # bump precedes insert A).
-        d_freq = np.full(m, np.int64(freq))
+        d_freq = _full_i64(m, freq)
         d_freq[resident] = self._freq[res_slots] + 1
         A = np.cumsum(arrivals.astype(np.int64))
         d_release = np.maximum(0, A - free0)
@@ -1155,8 +1167,8 @@ def _greedy_evictions(
 
     Returns per-candidate eviction slots (-1 = survives).
     """
-    pool_slot = np.full(pool_freq.size, -1, dtype=np.int64)
-    d_slot = np.full(d_freq.size, -1, dtype=np.int64)
+    pool_slot = _full_i64(pool_freq.size, -1)
+    d_slot = _full_i64(d_freq.size, -1)
     avail = np.arange(n_slots, dtype=np.int64)
     d_eligible = d_release < n_slots
     for f in np.unique(np.concatenate([pool_freq, d_freq[d_eligible]])):
@@ -1169,7 +1181,7 @@ def _greedy_evictions(
         )
         if rel.size == 0:
             continue
-        pos = np.searchsorted(avail, rel, side="left")
+        pos = avail.searchsorted(rel, side="left")
         seq = np.arange(rel.size, dtype=np.int64)
         assigned = np.maximum.accumulate(pos - seq) + seq
         ok = assigned < avail.size
@@ -1523,7 +1535,7 @@ class CombinedCache:
             rem = keys[s:bound]
             h = None if hashes is None else hashes[s:bound]
             if assume_absent:
-                lfu_slots = np.full(rem.size, -1, dtype=np.int64)
+                lfu_slots = _full_i64(rem.size, -1)
                 in_lfu = np.zeros(rem.size, dtype=bool)
             else:
                 lfu_slots, in_lfu = lfu._index.get(rem, h)
@@ -1708,7 +1720,7 @@ class CombinedCache:
             and prev_rows is not None
             and int(prev_rows.max(initial=-1)) < lru._keys.shape[0]
         ):
-            pos = np.searchsorted(prev_keys, keys)
+            pos = prev_keys.searchsorted(keys)
             np.minimum(pos, prev_keys.size - 1, out=pos)
             cand = prev_keys[pos] == keys
             rows_cand = prev_rows[pos[cand]]
@@ -1728,9 +1740,9 @@ class CombinedCache:
             lru_slots[sub] = s_slots
             in_lfu = np.zeros(n, dtype=bool)
             in_lfu[sub] = s_in_lfu
-            lfu_slots = np.full(n, -1, dtype=np.int64)
+            lfu_slots = _full_i64(n, -1)
             lfu_slots[sub] = sf_slots
-            lru_hints = np.full(n, -1, dtype=np.int64)
+            lru_hints = _full_i64(n, -1)
             lru_hints[sub] = s_hints
             if h_sub is None:
                 hashes = None
@@ -1748,7 +1760,7 @@ class CombinedCache:
         n2 = n - n0 - n1
         hit[in_lru] = True
         hit[in_lfu] = True
-        rows = np.full(n, -1, dtype=np.int64)
+        rows = _full_i64(n, -1)
         # -- segment 1: LRU hits — ticks on known slots ----------------
         if n0:
             res = lru_slots[in_lru]
@@ -1761,7 +1773,7 @@ class CombinedCache:
         if n1:
             run, evict_order = lru._admission_run_length(
                 inserts=in_lfu[in_lfu],
-                res_slots=np.full(n1, -1, dtype=np.int64),
+                res_slots=_full_i64(n1, -1),
                 blocked=None,
                 allow_spill=False,
             )
@@ -1778,7 +1790,7 @@ class CombinedCache:
                 return hit, None
             scratch_v = np.empty((n1, self.value_dim), dtype=np.float32)
             scratch_h = np.empty(n1, dtype=bool)
-            seg_rows = np.full(n1, -1, dtype=np.int64)
+            seg_rows = _full_i64(n1, -1)
             self._get_run(
                 keys[in_lfu],
                 scratch_v,
@@ -1850,6 +1862,43 @@ class CombinedCache:
     def unpin_rows(self, rows: np.ndarray) -> None:
         """Release pins at resolved LRU rows (see :meth:`resolve_pinned`)."""
         self.lru._pinned[rows] = False
+
+    def touch_rows(self, rows: np.ndarray) -> None:
+        """Account an LRU access at already-resolved pinned rows.
+
+        The consume path of the depth-k prefetch window: the rows were
+        located (and pinned) by an earlier round's
+        :meth:`prefetch_resolve`, so serving them this round is recency
+        ticks + access counts + hit statistics on known slots — exactly
+        segment 1 of the resolve, with zero index traffic.  Identical
+        under every admission mode (no admission work can arise on
+        pinned residents), so it cannot fork the parity oracles.
+        """
+        n = rows.size
+        if not n:
+            return
+        self.lru._tick[rows] = self.lru._ticks(n)
+        self._counts[rows] += 1
+        self.stats.hits += n
+
+    def unpin_rows_except(
+        self, rows: np.ndarray, keep: list[np.ndarray]
+    ) -> None:
+        """Release pins at ``rows`` except rows present in any ``keep``.
+
+        End-of-round face of the prefetch window: the finished round's
+        rows are unpinned, but rows the still-in-flight lookahead window
+        shares with it must stay pinned (a pin is a boolean, not a
+        refcount, so a plain unpin would release the window's claim).
+        """
+        if not keep:
+            self.lru._pinned[rows] = False
+            return
+        mask = np.zeros(self.lru._keys.shape[0], dtype=bool)
+        mask[rows] = True
+        for k in keep:
+            mask[k] = False
+        self.lru._pinned[mask] = False
 
     def update_if_present(self, key: int, value: np.ndarray) -> bool:
         """Overwrite a resident value without changing recency/frequency."""
@@ -2043,7 +2092,7 @@ class CombinedCache:
             dirty_keys = np.unique(as_keys(dirty_keys))
 
         def ship_mask(keys: np.ndarray, values: np.ndarray) -> np.ndarray:
-            pos = np.searchsorted(base_keys, keys)
+            pos = base_keys.searchsorted(keys)
             pos_c = np.minimum(pos, max(0, base_keys.size - 1))
             in_base = (
                 (base_keys[pos_c] == keys)

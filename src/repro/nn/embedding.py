@@ -133,7 +133,7 @@ class EmbeddingLayer:
         if emb_values.shape != (unique_keys.size, self.dim):
             raise ValueError("emb_values shape mismatch")
         if flat_idx is None:
-            flat_idx = np.searchsorted(unique_keys, batch.keys)
+            flat_idx = unique_keys.searchsorted(batch.keys)
             if flat_idx.size and (
                 flat_idx.max() >= unique_keys.size
                 or np.any(unique_keys[flat_idx] != batch.keys)

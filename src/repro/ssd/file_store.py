@@ -88,6 +88,9 @@ class FileStore:
         directory: str | None = None,
         ledger: CostLedger | None = None,
         extent_cache_files: int = 0,
+        extent_cache_resize_every: int = 0,
+        extent_cache_min_files: int = 1,
+        extent_cache_max_files: int | None = None,
         key_domain: int | None = None,
     ) -> None:
         if value_dim <= 0:
@@ -100,7 +103,14 @@ class FileStore:
         self.device = SSDDevice(ssd_spec or SSDSpec(), self.ledger)
         #: cross-round payload cache; disabled (0 capacity) by default so
         #: charged seconds stay identical to the pre-cache behaviour.
-        self.extent_cache = FileHandleCache(extent_cache_files)
+        #: With ``extent_cache_resize_every`` > 0 the cache self-tunes
+        #: its capacity to the observed file-reuse distances.
+        self.extent_cache = FileHandleCache(
+            extent_cache_files,
+            resize_every=extent_cache_resize_every,
+            min_files=extent_cache_min_files,
+            max_files_limit=extent_cache_max_files,
+        )
         #: fault-injection guard for cold file reads
         #: (:class:`repro.faults.policy.FaultArm`; None = fault-free)
         self.faults = None
@@ -228,7 +238,7 @@ class FileStore:
         found = np.zeros(keys.size, dtype=bool)
         if keys.size == 0:
             return ReadResult(out, found, 0.0, 0, 0)
-        fids = self.mapping_of(keys)
+        fids, _ = self._mapping.get(keys)
         total_t = 0.0
         files_read = 0
         bytes_read = 0
@@ -236,17 +246,26 @@ class FileStore:
         # Group requested keys by file with one sort instead of scanning
         # the whole fid array once per touched file: each touched file is
         # resolved (and charged) exactly once per read call, no matter how
-        # many of the batch's rows live in it.
-        order = np.argsort(fids, kind="stable")
+        # many of the batch's rows live in it.  All per-file boundaries
+        # come out of the sorted fid array in one pass.
+        order = fids.argsort(kind="stable")
         sorted_fids = fids[order]
-        start = int(np.searchsorted(sorted_fids, 0))  # skip unmapped (-1)
-        while start < order.size:
-            fid = int(sorted_fids[start])
-            stop = int(np.searchsorted(sorted_fids, fid, side="right"))
-            f = self._files[fid]
-            sel = order[start:stop]
-            rows = np.searchsorted(f.keys, keys[sel])
-            payload = self.extent_cache.get(fid)
+        start = int(sorted_fids.searchsorted(0))  # skip unmapped (-1)
+        if start == order.size:
+            return ReadResult(out, found, 0.0, 0, 0)
+        sf = sorted_fids[start:]
+        cuts = np.flatnonzero(sf[1:] != sf[:-1]) + 1
+        starts = np.concatenate(([0], cuts)) + start
+        stops = np.append(cuts, sf.size) + start
+        files = self._files
+        cache = self.extent_cache
+        device = self.device
+        for s, e in zip(starts.tolist(), stops.tolist()):
+            fid = int(sorted_fids[s])
+            f = files[fid]
+            sel = order[s:e]
+            rows = f.keys.searchsorted(keys[sel])
+            payload = cache.get(fid)
             if payload is None:
                 if self.faults is not None:
                     # Armed cold read: transient read errors / torn
@@ -260,19 +279,18 @@ class FileStore:
                 # Full payload read, charged to the device; admit it so
                 # the next round's misses to this file go at warm rate.
                 payload = self._payload(f)
-                total_t += self.device.read(self.file_bytes(f))
+                total_t += device.read(self.file_bytes(f))
                 files_read += 1
                 bytes_read += self.file_bytes(f)
-                self.extent_cache.put(fid, payload)
+                cache.put(fid, payload)
             else:
                 # Cache hit: a host-DRAM copy, cheap but not free, so
                 # the cache can default on without rewriting the cost
                 # model's parity story.
-                total_t += self.device.read_warm(self.file_bytes(f))
+                total_t += device.read_warm(self.file_bytes(f))
                 cache_hits += 1
             out[sel] = payload[rows]
             found[sel] = True
-            start = stop
         return ReadResult(out, found, total_t, files_read, bytes_read, cache_hits)
 
     # ------------------------------------------------------------------
@@ -325,7 +343,7 @@ class FileStore:
             offsets[1:] = np.cumsum([k.size for k in keys_parts])
         map_keys, map_fids = self._mapping.items()
         order = np.argsort(map_keys)
-        return {
+        out = {
             "file_ids": np.asarray(fids, dtype=np.int64),
             "file_offsets": offsets,
             "file_keys": (
@@ -352,6 +370,14 @@ class FileStore:
                 self.extent_cache.resident_ids(), dtype=np.int64
             ),
         }
+        self._export_extent_tuning(out)
+        return out
+
+    def _export_extent_tuning(self, out: dict[str, np.ndarray]) -> None:
+        """Attach the adaptive extent cache's replay state (if any)."""
+        if self.extent_cache.adaptive:
+            for k, v in self.extent_cache.export_tuning().items():
+                out[f"extent_tuning_{k}"] = v
 
     def export_delta(self, base: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         """Diff the store against a prior :meth:`export_state` snapshot.
@@ -389,7 +415,7 @@ class FileStore:
             touched = np.unique(np.concatenate(keys_parts))
         else:
             touched = np.zeros(0, dtype=KEY_DTYPE)
-        return {
+        out = {
             "base_next_file_id": np.int64(watermark),
             "file_ids": np.asarray(new_fids, dtype=np.int64),
             "file_offsets": offsets,
@@ -417,6 +443,8 @@ class FileStore:
                 self.extent_cache.resident_ids(), dtype=np.int64
             ),
         }
+        self._export_extent_tuning(out)
+        return out
 
     def load_delta(self, delta: dict[str, np.ndarray]) -> None:
         """Apply an :meth:`export_delta` diff on top of the base state.
@@ -481,11 +509,7 @@ class FileStore:
         for fid in erased.tolist():
             self.erase(int(fid))
         self._next_file_id = next_file_id
-        self.extent_cache.clear()
-        for fid in delta.get("extent_cache_fids", np.zeros(0, np.int64)):
-            fid = int(fid)
-            if fid in self._files:
-                self.extent_cache.put(fid, self._payload(self._files[fid]))
+        self._rewarm_extent_cache(delta)
         self.check_invariants()
 
     def load_state(self, state: dict[str, np.ndarray]) -> None:
@@ -551,14 +575,36 @@ class FileStore:
         self._next_file_id = next_file_id
         if map_keys_in.size:
             self._mapping.set(map_keys_in, map_fids_in)
-        # Re-warm the extent cache in the snapshot's LRU order (oldest
-        # first), skipping ids beyond this store's configured capacity.
-        self.extent_cache.clear()
-        for fid in state.get("extent_cache_fids", np.zeros(0, np.int64)):
-            fid = int(fid)
-            if fid in self._files:
-                self.extent_cache.put(fid, self._payload(self._files[fid]))
+        self._rewarm_extent_cache(state)
         self.check_invariants()
+
+    def _rewarm_extent_cache(self, state: dict[str, np.ndarray]) -> None:
+        """Restore the warm set (and, if adaptive, the tuning state).
+
+        The tuning state loads *first* so the capacity in force during
+        the re-warm is the snapshot's — then :meth:`FileHandleCache.warm`
+        admits only the newest ``max_files`` surviving ids, so a live
+        capacity smaller than the snapshot's residency (a fixed-size
+        restore into a smaller store, or an adaptive cache that shrank)
+        can never over-warm nor spuriously count evictions.
+        """
+        if self.extent_cache.adaptive and "extent_tuning_capacity" in state:
+            self.extent_cache.load_tuning(
+                {
+                    k[len("extent_tuning_") :]: v
+                    for k, v in state.items()
+                    if k.startswith("extent_tuning_")
+                }
+            )
+        self.extent_cache.clear()
+        fids = [
+            int(fid)
+            for fid in state.get("extent_cache_fids", np.zeros(0, np.int64))
+            if int(fid) in self._files
+        ]
+        self.extent_cache.warm(
+            fids, lambda fid: self._payload(self._files[fid])
+        )
 
     def check_invariants(self) -> None:
         """Debug/test hook: mapping, stale counters, byte accounting."""

@@ -157,14 +157,16 @@ class SlotIndex:
         keys = as_keys(keys)
         n = keys.size
         if n == 0:
-            out = np.full(n, -1, dtype=np.int64)
+            out = np.empty(n, dtype=np.int64)
+            out.fill(-1)
             found = np.zeros(n, dtype=bool)
             return out, found, np.empty(0, dtype=np.int64) if want_slots else None
         if self._dense_ok(keys):
             idx = keys.astype(np.int64)
             out = self._dense[idx]
             return out, out >= 0, idx if want_slots else None
-        out = np.full(n, -1, dtype=np.int64)
+        out = np.empty(n, dtype=np.int64)
+        out.fill(-1)
         found = np.zeros(n, dtype=bool)
         if self.n_live == 0 and self._n_dead == 0:
             # Empty table: every base slot is a valid insertion hint.

@@ -149,6 +149,23 @@ class TestBackpressure:
         for s in range(4):
             assert run.queue_stall_seconds(s) == pytest.approx(0.0)
 
+    def test_shadow_idle_is_span_minus_busy(self):
+        """A fast stage behind a slow one idles; the bottleneck never does.
+
+        With a 2s stage 0 feeding a 1s stage 1, stage 1 waits 1s between
+        every pair of its 5 consecutive events — the shadow budget the
+        depth-k prefetch stage schedules its resolve work into.
+        """
+        stages, _ = recording_stages(np.tile([2.0, 1.0, 1.0, 1.0], (6, 1)))
+        run = PipelinedEngine(stages).run(6)
+        assert run.shadow_idle_seconds(0) == pytest.approx(0.0)
+        assert run.shadow_idle_seconds(1) == pytest.approx(5.0)
+
+    def test_shadow_idle_empty_run(self):
+        stages, _ = recording_stages(np.ones((1, 4)))
+        run = PipelinedEngine(stages).run(0)
+        assert run.shadow_idle_seconds(0) == 0.0
+
 
 class TestClusterPipelined:
     """Lockstep-vs-pipelined parity on the real training stack."""

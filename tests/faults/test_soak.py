@@ -57,18 +57,10 @@ def _soak_schedule(index: int) -> FaultSchedule:
     )
 
 
-@pytest.fixture(scope="module")
-def twins():
-    """One fault-free reference per execution mode (trained once).
+def _soak_spec():
+    from repro.config import ModelSpec
 
-    Module-scoped (the per-test fixtures in ``conftest`` are not), so the
-    spec/config mirror ``tiny_spec``/``small_config`` with the pressured
-    MEM budget from ``mk_pressured``.
-    """
-    from repro.config import ClusterConfig, ModelSpec
-    from repro.core.cluster import HPSCluster
-
-    spec = ModelSpec(
+    return ModelSpec(
         name="tiny",
         nonzeros_per_example=8,
         n_sparse=5_000,
@@ -79,7 +71,12 @@ def twins():
         hidden_layers=(16, 8),
         n_slots=4,
     )
-    config = ClusterConfig(
+
+
+def _soak_config(**overrides):
+    from repro.config import ClusterConfig
+
+    return ClusterConfig(
         n_nodes=2,
         gpus_per_node=2,
         minibatches_per_gpu=2,
@@ -87,7 +84,15 @@ def twins():
         hbm_capacity_params=50_000,
         ssd_file_capacity=128,
         seed=7,
+        **overrides,
     )
+
+
+def _twin_pair(config):
+    """Fault-free lockstep + pipelined references for ``config``."""
+    from repro.core.cluster import HPSCluster
+
+    spec = _soak_spec()
 
     def mk():
         return HPSCluster(spec, config, functional_batch_size=512)
@@ -98,6 +103,23 @@ def twins():
     pipelined.train_pipelined(N_ROUNDS)
     probe = lockstep.generator.batch(10_000, 512).unique_keys()
     return {False: lockstep, True: pipelined, "probe": probe, "mk": mk}
+
+
+@pytest.fixture(scope="module")
+def twins():
+    """One fault-free reference per execution mode (trained once).
+
+    Module-scoped (the per-test fixtures in ``conftest`` are not), so the
+    spec/config mirror ``tiny_spec``/``small_config`` with the pressured
+    MEM budget from ``mk_pressured``.
+    """
+    return _twin_pair(_soak_config())
+
+
+@pytest.fixture(scope="module")
+def depth2_twins():
+    """Fault-free references for the depth-2 lookahead configuration."""
+    return _twin_pair(_soak_config(prefetch=True, prefetch_depth=2))
 
 
 @pytest.mark.parametrize("index", range(N_SCHEDULES))
@@ -126,6 +148,40 @@ def test_soak_recoverable_schedule_is_bit_exact(index, twins, tmp_path):
 
     _FIRED.update(run.totals["fault_counts"])
     _FIRED.update(r.kind for r in run.reports)
+
+
+@pytest.mark.parametrize("index", range(5))
+def test_depth2_soak_is_bit_exact(index, depth2_twins, tmp_path):
+    """Five seeded schedules against the depth-2 lookahead window.
+
+    Fault recovery must compose with the speculative window: an aborted
+    round drops the window and the in-flight lookahead unions, a restore
+    rebuilds them, and the run still ends bit-identical to its
+    fault-free depth-2 twin — with zero bulk-admission fallbacks."""
+    pipelined = index % 2 == 1
+    schedule = FaultSchedule(
+        derive_seed(SOAK_BASE_SEED, "depth2", index),
+        rates=SOAK_RATES,
+        max_faults=64,
+    )
+    supervisor = Supervisor(str(tmp_path / "sup"), checkpoint_every=2)
+    run = supervisor.run(
+        depth2_twins["mk"](), N_ROUNDS, schedule, pipelined=pipelined
+    )
+
+    assert run.rounds == N_ROUNDS
+    twin = depth2_twins[pipelined]
+    probe = depth2_twins["probe"]
+    assert np.array_equal(
+        run.cluster.lookup_embeddings(probe), twin.lookup_embeddings(probe)
+    )
+    for pa, pb in zip(
+        run.cluster.nodes[0].model.dense_state(),
+        twin.nodes[0].model.dense_state(),
+    ):
+        assert np.array_equal(pa, pb)
+    assert run.downtime_fraction < 1.0
+    assert run.training_seconds > 0.0
 
 
 @pytest.mark.skipif(
